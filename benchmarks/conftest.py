@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's tables or figures via
+``pytest-benchmark`` (so wall-clock cost is tracked run over run) and
+asserts the *shape* of the result: orderings, approximate ratios, and
+crossovers.  Absolute simulated seconds are not compared to the paper's
+testbed seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+
+def rows_by_label(result) -> Dict[str, float]:
+    """Collapse an ExperimentResult's rows into {label: measured}."""
+    return {label: measured for label, measured, _paper in result.rows}
+
+
+@pytest.fixture
+def run_once():
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(benchmark, experiment_fn, **kwargs):
+        return benchmark.pedantic(
+            lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,46 @@
+"""Benches for the beyond-the-paper extension experiments."""
+
+from conftest import rows_by_label
+
+from repro.experiments.ext_durability import run as run_durability
+from repro.experiments.ext_ssd import run as run_ssd
+from repro.experiments.ext_updates import run as run_updates
+
+
+def test_ext_durability(benchmark, run_once):
+    result = run_once(benchmark, run_durability)
+    rows = rows_by_label(result)
+    # Analytic ladder: rep2 << raidp == rep3 << raidp(2 lstors).
+    assert rows["analytic MTTDL [rep2] (years)"] < rows["analytic MTTDL [raidp] (years)"]
+    assert rows["analytic MTTDL [raidp] (years)"] == rows["analytic MTTDL [rep3] (years)"]
+    assert (
+        rows["analytic MTTDL [raidp(2 lstors)] (years)"]
+        > rows["analytic MTTDL [raidp] (years)"]
+    )
+    # Monte-Carlo: RAIDP's durability in triplication's class...
+    assert rows["P(data loss) [raidp]"] <= rows["P(data loss) [rep2]"] / 2
+    # ...but availability worse than triplication (the §2 trade).
+    assert rows["P(unavailable) [raidp]"] >= rows["P(unavailable) [rep3]"]
+
+
+def test_ext_updates(benchmark, run_once):
+    result = run_once(benchmark, run_updates)
+    rows = rows_by_label(result)
+    assert rows["runtime speedup (rewrite / in-place)"] > 1.5
+    assert (
+        rows["disk bytes written [in_place] (GiB)"]
+        < rows["disk bytes written [rewrite] (GiB)"]
+    )
+    assert rows["trace update amplification (x)"] > 10
+
+
+def test_ext_ssd(benchmark, run_once):
+    result = run_once(benchmark, run_ssd)
+    rows = rows_by_label(result)
+    # The unoptimized layout's ping-pong penalty collapses on flash.
+    assert (
+        rows["raidp unopt only-superchunks [SSD]"]
+        < rows["raidp unopt only-superchunks [HDD]"] / 1.5
+    )
+    # The re-write variant settles near the per-disk transfer bound (2x).
+    assert 1.5 < rows["raidp re-write +journal [SSD]"] < 2.3

@@ -1,0 +1,89 @@
+"""Microbenchmarks of the substrates (classic pytest-benchmark usage).
+
+These track the raw speed of the building blocks -- useful when tuning
+the simulator, and a regression canary for the vectorized GF(256) paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.ec.gf256 import GF256
+from repro.ec.raid6 import pq_encode, pq_recover_two_data
+from repro.ec.reed_solomon import ReedSolomon
+from repro.matching.hungarian import hungarian
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.sim.engine import Simulator
+
+
+def test_bench_gf256_addmul(benchmark):
+    rng = np.random.default_rng(1)
+    accum = np.zeros(units.MiB, dtype=np.uint8)
+    data = rng.integers(0, 256, size=units.MiB, dtype=np.uint8)
+    benchmark(GF256.addmul_bytes, accum, 0x57, data)
+
+
+def test_bench_rs_encode(benchmark):
+    rs = ReedSolomon(10, 2)
+    rng = np.random.default_rng(2)
+    shards = [rng.integers(0, 256, size=256 * units.KiB, dtype=np.uint8) for _ in range(10)]
+    parities = benchmark(rs.encode, shards)
+    assert len(parities) == 2
+
+
+def test_bench_rs_decode_two_erasures(benchmark):
+    rs = ReedSolomon(10, 2)
+    rng = np.random.default_rng(3)
+    data = [rng.integers(0, 256, size=64 * units.KiB, dtype=np.uint8) for _ in range(10)]
+    parity = rs.encode(data)
+    shards = {i: s for i, s in enumerate(data) if i not in (2, 7)}
+    shards[10], shards[11] = parity
+    decoded = benchmark(rs.decode, shards)
+    assert np.array_equal(decoded[2], data[2])
+
+
+def test_bench_raid6_double_recovery(benchmark):
+    rng = np.random.default_rng(4)
+    data = [rng.integers(0, 256, size=units.MiB, dtype=np.uint8) for _ in range(8)]
+    p, q = pq_encode(data)
+    survivors = {i: d for i, d in enumerate(data) if i not in (1, 5)}
+    d1, d5 = benchmark(pq_recover_two_data, survivors, 1, 5, p, q)
+    assert np.array_equal(d1, data[1])
+    assert np.array_equal(d5, data[5])
+
+
+def test_bench_sim_engine_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(10_000):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    result = benchmark.pedantic(run_events, rounds=3, iterations=1)
+    assert result == pytest.approx(10.0)
+
+
+def test_bench_hungarian_50x50(benchmark):
+    import random
+
+    rng = random.Random(5)
+    cost = [[rng.randint(1, 100) for _ in range(50)] for _ in range(50)]
+    assignment, _total = benchmark(hungarian, cost)
+    assert len(assignment) == 50
+
+
+def test_bench_hopcroft_karp_dense(benchmark):
+    import random
+
+    rng = random.Random(6)
+    graph = {
+        f"L{i}": [f"R{j}" for j in range(100) if rng.random() < 0.2]
+        for i in range(100)
+    }
+    matching = benchmark(hopcroft_karp, graph)
+    assert len(matching) > 80

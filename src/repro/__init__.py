@@ -1,0 +1,45 @@
+"""RAIDP: ReplicAtion with Intra-Disk Parity -- a full reproduction.
+
+Reproduces Rosenfeld et al., "RAIDP: ReplicAtion with Intra-Disk Parity"
+(EuroSys 2020) as a pure-Python system: a deterministic cluster simulator
+(disks, NICs, servers), an HDFS-like distributed filesystem, the RAIDP
+core (superchunk layout, Lstors, crash-consistency journal, recovery),
+erasure-coding and matching substrates, the paper's workloads, and one
+regenerator per published table and figure.
+
+Quick tour::
+
+    from repro import RaidpCluster, units
+
+    dfs = RaidpCluster()                       # 16 simulated nodes
+    dfs.sim.run_process(dfs.client(0).write_file("/x", units.GiB))
+    dfs.verify_parity()                        # Lstor invariant holds
+
+See README.md for the architecture overview and
+``python -m repro.experiments`` for the paper's evaluation.
+"""
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.layout import Layout, LayoutSpec, rotational_layout
+from repro.core.node import RaidpConfig
+from repro.core.recovery import RecoveryManager, RecoveryOptions
+from repro.hdfs.config import DfsConfig
+from repro.hdfs.filesystem import HdfsCluster
+from repro.sim.cluster import ClusterSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "DfsConfig",
+    "HdfsCluster",
+    "Layout",
+    "LayoutSpec",
+    "RaidpCluster",
+    "RaidpConfig",
+    "RecoveryManager",
+    "RecoveryOptions",
+    "rotational_layout",
+    "units",
+]

@@ -1,0 +1,28 @@
+"""Analytic models: cost, design space, and the Table 1 property matrix.
+
+- :mod:`repro.analysis.repair_traffic` -- closed-form repair volumes per
+  redundancy scheme (feeds Fig. 1 and Table 1).
+- :mod:`repro.analysis.design_space` -- Fig. 1's storage-efficiency vs
+  repair-efficiency plane.
+- :mod:`repro.analysis.properties` -- derives Table 1's +/-/± matrix from
+  quantitative mini-models instead of hand-waving.
+- :mod:`repro.analysis.cost` -- the Section 4 feasibility and TCO study
+  (Lstor bill of materials, derived disk costs, Fig. 7 breakdown).
+"""
+
+from repro.analysis.cost import DatacenterCostModel, LstorBom, ServerExample
+from repro.analysis.design_space import DesignPoint, design_space_points
+from repro.analysis.properties import Rating, property_matrix
+from repro.analysis.repair_traffic import RepairTraffic, repair_traffic
+
+__all__ = [
+    "DatacenterCostModel",
+    "DesignPoint",
+    "LstorBom",
+    "Rating",
+    "RepairTraffic",
+    "ServerExample",
+    "design_space_points",
+    "property_matrix",
+    "repair_traffic",
+]

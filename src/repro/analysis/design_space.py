@@ -1,0 +1,88 @@
+"""Fig. 1: the storage-efficiency vs repair-efficiency design space.
+
+Storage efficiency is useful bytes over raw bytes.  Repair efficiency is
+the reciprocal of normalized repair traffic (1.0 = the replication
+ideal).  RAIDP lands between triplication and erasure coding on storage,
+and at (single failure) or near (double failure) replication on repair --
+the "middle point" the paper's introduction claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.repair_traffic import repair_traffic
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One scheme's coordinates in the Fig. 1 plane."""
+
+    scheme: str
+    storage_efficiency: float  # useful / raw capacity
+    repair_efficiency_single: float  # 1 / normalized repair traffic
+    repair_efficiency_double: float
+
+    def row(self) -> str:
+        return (
+            f"{self.scheme:<14} storage={self.storage_efficiency:.3f} "
+            f"repair(1)={self.repair_efficiency_single:.3f} "
+            f"repair(2)={self.repair_efficiency_double:.3f}"
+        )
+
+
+def storage_efficiency(scheme: str, n: int = 10, superchunks_per_disk: int = 15) -> float:
+    if scheme == "triplication":
+        return 1.0 / 3.0
+    if scheme == "erasure":
+        return n / (n + 2.0)
+    if scheme == "raidp":
+        # Two replicas plus one superchunk-sized Lstor per disk of S
+        # superchunks: raw = 2S + 1 superchunk-equivalents per S useful.
+        s = superchunks_per_disk
+        return s / (2.0 * s + 1.0)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def design_space_points(
+    n: int = 10, superchunks_per_disk: int = 15
+) -> List[DesignPoint]:
+    """Compute the three schemes' Fig. 1 coordinates."""
+    points = []
+    for scheme, traffic_name in (
+        ("triplication", "replication"),
+        ("erasure", "erasure"),
+        ("raidp", "raidp"),
+    ):
+        single = repair_traffic(
+            traffic_name, failures=1, n=n, superchunks_per_disk=superchunks_per_disk
+        )
+        double = repair_traffic(
+            traffic_name, failures=2, n=n, superchunks_per_disk=superchunks_per_disk
+        )
+        points.append(
+            DesignPoint(
+                scheme=scheme,
+                storage_efficiency=storage_efficiency(
+                    scheme, n=n, superchunks_per_disk=superchunks_per_disk
+                ),
+                repair_efficiency_single=1.0 / single.volume_per_lost_byte,
+                repair_efficiency_double=1.0 / double.volume_per_lost_byte,
+            )
+        )
+    return points
+
+
+def verify_middle_point(points: List[DesignPoint]) -> bool:
+    """The paper's Fig. 1 claim: RAIDP sits between the two extremes."""
+    by_name = {p.scheme: p for p in points}
+    trip, ec, raidp = by_name["triplication"], by_name["erasure"], by_name["raidp"]
+    storage_between = trip.storage_efficiency < raidp.storage_efficiency < ec.storage_efficiency
+    repair_single_at_ideal = raidp.repair_efficiency_single == trip.repair_efficiency_single
+    repair_double_between = (
+        ec.repair_efficiency_double
+        < raidp.repair_efficiency_double
+        <= trip.repair_efficiency_double
+    )
+    return storage_between and repair_single_at_ideal and repair_double_between

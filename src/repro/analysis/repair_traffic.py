@@ -1,0 +1,74 @@
+"""Closed-form repair traffic for the three redundancy schemes (§2).
+
+All volumes are normalized to the amount of data lost: a value of 1.0
+means the system reads/transfers exactly as much as it lost (the
+replication ideal); Reed-Solomon reads ``n`` blocks per lost block.
+
+RAIDP's double-failure figure interpolates: every superchunk of a failed
+disk except the shared one is repaired replication-style (1.0), while the
+shared superchunk costs a local-erasure rebuild pulling the disk's other
+superchunks plus the Lstor parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RepairTraffic:
+    """Normalized repair volumes of one scheme for one failure count."""
+
+    scheme: str
+    failures: int
+    #: Bytes read (and moved) per byte of lost data.
+    volume_per_lost_byte: float
+
+
+def replication_repair(failures: int) -> RepairTraffic:
+    """k-way replication reads one surviving copy per lost byte."""
+    return RepairTraffic("replication", failures, 1.0)
+
+
+def erasure_repair(n: int, failures: int) -> RepairTraffic:
+    """An n+k MDS code reads n blocks to rebuild each lost block."""
+    if n < 1:
+        raise ValueError("need n >= 1 data blocks")
+    return RepairTraffic(f"rs({n}+k)", failures, float(n))
+
+
+def raidp_repair(superchunks_per_disk: int, failures: int) -> RepairTraffic:
+    """RAIDP: replication-style except for the one shared superchunk.
+
+    With ``S`` superchunks per disk, a double failure loses ``2S - 1``
+    superchunk copies of which one (the shared superchunk, lost on both
+    disks) must be rebuilt from the remaining ``S - 1`` superchunks plus
+    the parity; everything else re-replicates at cost 1.
+    """
+    s = superchunks_per_disk
+    if s < 1:
+        raise ValueError("need at least one superchunk per disk")
+    if failures <= 1:
+        return RepairTraffic("raidp", failures, 1.0)
+    # Per failed disk: S superchunks of lost data.  2S total; the shared
+    # superchunk (size 1) costs S - 1 superchunk reads + 1 parity read;
+    # the other 2S - 2 each cost 1.
+    lost = 2 * s - 1  # distinct superchunk copies needing restoration
+    volume = (2 * s - 2) * 1.0 + (s - 1 + 1)
+    return RepairTraffic("raidp", failures, volume / lost)
+
+
+def repair_traffic(
+    scheme: str,
+    failures: int = 1,
+    n: int = 10,
+    superchunks_per_disk: int = 15,
+) -> RepairTraffic:
+    """Dispatch helper used by the figures."""
+    if scheme in ("replication", "triplication", "3-replicas"):
+        return replication_repair(failures)
+    if scheme in ("erasure", "rs", "n+2"):
+        return erasure_repair(n, failures)
+    if scheme == "raidp":
+        return raidp_repair(superchunks_per_disk, failures)
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,242 @@
+"""Lstor: the per-disk parity add-on (paper §3.2).
+
+An Lstor is a small persistent device attached to one disk.  It fails
+independently of the disk and stores:
+
+- a parity region the size of one superchunk, holding an erasure code of
+  *all* superchunks on the local disk, indexed here by block slot within
+  the superchunk (parity slot ``j`` covers block ``j`` of every local
+  superchunk), and
+- the append-only journal of :mod:`repro.core.journal`.
+
+With a single Lstor per disk the erasure code is plain XOR -- both in the
+real-bytes plane and in the symbolic plane, where XOR is symmetric set
+difference.  :class:`LstorStack` generalizes to ``k`` Lstors per disk
+using the Reed-Solomon rows of :mod:`repro.ec.reed_solomon`, allowing the
+system to survive ``k + 1`` simultaneous disk failures (bytes plane only,
+since Reed-Solomon needs real field arithmetic).
+
+Timing: parity arithmetic is offloaded to the Lstor's own logic (paper
+§2), so Lstor operations charge *no* datanode CPU; the simulated cost is
+the transfer into the device, charged at ``write_rate``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro import units
+from repro.core.journal import Journal
+from repro.ec.reed_solomon import ReedSolomon
+from repro.errors import LstorFailedError
+from repro.sim.engine import Simulator
+from repro.storage.payload import BytesPayload, ContentFactory, Payload
+
+
+class Lstor:
+    """One parity device: an XOR region plus a journal."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: ContentFactory,
+        name: str,
+        block_size: int,
+        journal_capacity: int = 128 * units.MiB,
+        write_rate: float = 1.2 * units.GB,
+    ) -> None:
+        self.sim = sim
+        self.factory = factory
+        self.name = name
+        self.block_size = block_size
+        self.write_rate = write_rate
+        self.journal = Journal(capacity=journal_capacity, now=sim.now)
+        self.failed = False
+        self._parity: Dict[int, Payload] = {}
+        # Tags of already-absorbed updates: device-side sequence-number
+        # dedup, which makes journal roll-forward idempotent.
+        self._absorbed_tags: set = set()
+        self.stats_parity_updates = 0
+        self.stats_bytes_absorbed = 0
+
+    # ------------------------------------------------------------------
+    # Failure model: Lstors fail separately from their disks.
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        self.failed = True
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise LstorFailedError(f"access to failed Lstor {self.name}")
+
+    # ------------------------------------------------------------------
+    # Parity plane.
+    # ------------------------------------------------------------------
+    def parity_block(self, slot: int) -> Payload:
+        """Current parity for block slot ``slot`` (zero if untouched)."""
+        self._check_alive()
+        parity = self._parity.get(slot)
+        if parity is None:
+            return self.factory.zero(self.block_size)
+        return parity
+
+    def absorb(self, slot: int, delta: Payload, tag=None) -> None:
+        """Fold ``delta`` (= old XOR new) into the parity at ``slot``.
+
+        ``tag``, when given, deduplicates: a delta absorbed under the same
+        tag twice is applied once (journal replay idempotency).  Pure
+        state change; use :meth:`absorb_timed` from simulation processes
+        to also charge device-transfer time.
+        """
+        self._check_alive()
+        if tag is not None:
+            if tag in self._absorbed_tags:
+                return
+            self._absorbed_tags.add(tag)
+        self._parity[slot] = self.parity_block(slot).xor(delta)
+        self.stats_parity_updates += 1
+
+    def absorb_timed(self, slot: int, delta: Payload, nbytes: int) -> Generator:
+        """Process body: absorb a delta, charging transfer time."""
+        self.absorb(slot, delta)
+        self.stats_bytes_absorbed += nbytes
+        yield self.sim.timeout(nbytes / self.write_rate)
+        return None
+
+    def journal_write_time(self, nbytes: int) -> float:
+        """Time to persist one journal record of ``nbytes`` of new data.
+
+        A record carries new data, old data, and parity (3x), but the
+        device streams them concurrently from its staging DRAM; the
+        bottleneck is the record's dominant component.
+        """
+        return nbytes / self.write_rate
+
+    def snapshot_parity(self) -> Dict[int, Payload]:
+        """Copy of the parity region (used by recovery and tests)."""
+        self._check_alive()
+        return dict(self._parity)
+
+
+class LstorStack:
+    """``k`` Lstors on one disk: Reed-Solomon parities over superchunks.
+
+    Lstor ``i`` in the stack stores parity row ``i`` of an RS code whose
+    data shards are the disk's superchunks (shard index = the
+    superchunk's slot on this disk).  With ``k`` stacked Lstors the
+    cluster survives ``k + 1`` simultaneous disk failures: a (k+1)-failure
+    loses at most ``k`` superchunks on any given disk (one shared with
+    each other failed disk), and the k parities recover them.
+
+    Requires the bytes plane: Reed-Solomon coefficients have no symbolic
+    analogue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: ContentFactory,
+        name: str,
+        block_size: int,
+        data_shards: int,
+        parity_count: int,
+        journal_capacity: int = 128 * units.MiB,
+        write_rate: float = 1.2 * units.GB,
+    ) -> None:
+        if parity_count < 1:
+            raise ValueError("need at least one Lstor in a stack")
+        if factory.symbolic and parity_count > 1:
+            raise ValueError("stacked Lstors require the bytes payload plane")
+        self.sim = sim
+        self.factory = factory
+        self.name = name
+        self.block_size = block_size
+        self.data_shards = data_shards
+        self.parity_count = parity_count
+        self.lstors: List[Lstor] = [
+            Lstor(
+                sim,
+                factory,
+                name=f"{name}.L{i}",
+                block_size=block_size,
+                journal_capacity=journal_capacity,
+                write_rate=write_rate,
+            )
+            for i in range(parity_count)
+        ]
+        self._codec = (
+            ReedSolomon(data_shards, parity_count) if parity_count > 1 else None
+        )
+
+    @property
+    def primary(self) -> Lstor:
+        return self.lstors[0]
+
+    def alive_lstors(self) -> List[Lstor]:
+        return [l for l in self.lstors if not l.failed]
+
+    def absorb_update(
+        self, shard_index: int, slot: int, old: Payload, new: Payload, tag=None
+    ) -> None:
+        """Propagate one block update into every parity in the stack.
+
+        ``shard_index`` is the superchunk's slot on this disk (the RS data
+        shard index); ``slot`` is the block slot within the superchunk.
+        ``tag`` deduplicates replays (see :meth:`Lstor.absorb`).
+        """
+        if self._codec is None:
+            self.lstors[0].absorb(slot, old.xor(new), tag=tag)
+            return
+        if not isinstance(old, BytesPayload) or not isinstance(new, BytesPayload):
+            raise TypeError("stacked Lstors require BytesPayload data")
+        deltas = self._codec.parity_delta(shard_index, old.data, new.data)
+        for lstor, delta in zip(self.lstors, deltas):
+            if not lstor.failed:
+                lstor.absorb(slot, BytesPayload(delta), tag=tag)
+
+    def reconstruct_block(
+        self,
+        slot: int,
+        surviving_blocks: Dict[int, Payload],
+        missing_shards: List[int],
+    ) -> Dict[int, Payload]:
+        """Rebuild missing superchunk blocks at ``slot``.
+
+        ``surviving_blocks`` maps shard index (superchunk slot on this
+        disk) to its block payload; ``missing_shards`` lists the shard
+        indices to recover.  For a single Lstor this is the XOR chain of
+        the paper's Fig. 2; for stacks it is an RS decode.
+        """
+        alive = self.alive_lstors()
+        if not alive:
+            raise LstorFailedError(f"no live Lstor in stack {self.name}")
+        if self._codec is None:
+            if len(missing_shards) != 1:
+                raise ValueError("a single Lstor recovers exactly one superchunk")
+            accum = alive[0].parity_block(slot)
+            for payload in surviving_blocks.values():
+                accum = accum.xor(payload)
+            return {missing_shards[0]: accum}
+        shards: Dict[int, Payload] = dict(surviving_blocks)
+        full: Dict[int, "BytesPayload"] = {
+            i: p for i, p in shards.items() if isinstance(p, BytesPayload)
+        }
+        arrays = {i: p.data for i, p in full.items()}
+        # Missing *data* shards default to zeros if they were never
+        # written; parity shards come from the live Lstors.
+        for index, lstor in enumerate(self.lstors):
+            if not lstor.failed:
+                parity = lstor.parity_block(slot)
+                assert isinstance(parity, BytesPayload)
+                arrays[self.data_shards + index] = parity.data
+        for shard in range(self.data_shards):
+            if shard not in arrays and shard not in missing_shards:
+                arrays[shard] = self.factory.zero(self.block_size).data  # type: ignore[union-attr]
+        result = {}
+        for shard in missing_shards:
+            rebuilt = self._codec.reconstruct_shard(
+                {i: a for i, a in arrays.items() if i != shard}, shard
+            )
+            result[shard] = BytesPayload(rebuilt)
+            arrays[shard] = rebuilt
+        return result

@@ -1,0 +1,173 @@
+"""RAIDP block placement (paper §5, "Superimposing Superchunks on HDFS").
+
+The NameNode may only assign a new block to a *pair* of DataNodes that
+share a superchunk, and the block gets a fixed slot inside that
+superchunk (blocks are sequentially assigned to the preallocated files of
+the superchunk directory).  :class:`SuperchunkMap` tracks slot occupancy;
+:class:`RaidpPlacement` is the plug-in placement policy.
+
+Placement prefers pairs containing the writer (HDFS's writer-local first
+replica) and balances load by picking the least-full eligible superchunk.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.layout import Layout, LayoutSpec
+from repro.errors import CapacityError, PlacementError
+from repro.hdfs.block import Block, BlockLocations
+from repro.hdfs.namenode import PlacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hdfs.datanode import DataNode
+
+
+class SuperchunkMap:
+    """Slot occupancy of every superchunk in the layout."""
+
+    def __init__(self, layout: Layout) -> None:
+        self.layout = layout
+        self.slots_per_superchunk = layout.spec.blocks_per_superchunk
+        # sc_id -> slot -> block name (occupied slots only).
+        self._occupancy: Dict[int, Dict[int, str]] = {
+            sc_id: {} for sc_id in layout.superchunks
+        }
+        # Superchunks under recovery: writes are diverted away from them
+        # (paper §3.4) until the recovery completes.
+        self._frozen: set = set()
+
+    # ------------------------------------------------------------------
+    # Recovery-time write diversion (paper §3.4).
+    # ------------------------------------------------------------------
+    def freeze(self, sc_id: int) -> None:
+        self._frozen.add(sc_id)
+
+    def unfreeze(self, sc_id: int) -> None:
+        self._frozen.discard(sc_id)
+
+    def is_frozen(self, sc_id: int) -> bool:
+        return sc_id in self._frozen
+
+    def register_superchunk(self, sc_id: int) -> None:
+        """Track a superchunk created after construction (recovery)."""
+        self._occupancy.setdefault(sc_id, {})
+
+    def used_slots(self, sc_id: int) -> int:
+        return len(self._occupancy[sc_id])
+
+    def free_slots(self, sc_id: int) -> int:
+        return self.slots_per_superchunk - self.used_slots(sc_id)
+
+    def block_at(self, sc_id: int, slot: int) -> Optional[str]:
+        return self._occupancy[sc_id].get(slot)
+
+    def blocks_in(self, sc_id: int) -> Dict[int, str]:
+        """slot -> block name for every occupied slot."""
+        return dict(self._occupancy[sc_id])
+
+    def allocate_slot(self, sc_id: int, block_name: str) -> int:
+        """Claim the lowest free slot (sequential file assignment)."""
+        occupancy = self._occupancy[sc_id]
+        for slot in range(self.slots_per_superchunk):
+            if slot not in occupancy:
+                occupancy[slot] = block_name
+                return slot
+        raise CapacityError(f"superchunk {sc_id} has no free slots")
+
+    def release_slot(self, sc_id: int, slot: int) -> None:
+        self._occupancy[sc_id].pop(slot, None)
+
+    def load_of_disk(self, disk: str) -> int:
+        """Occupied slots across all superchunks on ``disk`` (load proxy)."""
+        return sum(
+            self.used_slots(sc_id) for sc_id in self.layout.superchunks_of(disk)
+        )
+
+
+class RaidpPlacement(PlacementPolicy):
+    """Placement restricted to superchunk-sharing DataNode pairs.
+
+    Disk ids in the layout are DataNode names (the evaluation runs one
+    disk per node, as the paper does).
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        superchunk_map: SuperchunkMap,
+        seed: int = 0xA1D9,
+        node_of=None,
+    ) -> None:
+        """``node_of`` maps a DataNode name to its server, so the
+        writer-local preference works on multi-disk servers (the writer
+        is a server name; eligible DataNodes are per-disk)."""
+        self.layout = layout
+        self.map = superchunk_map
+        self._rng = random.Random(seed)
+        self._node_of = node_of or (lambda name: name)
+
+    def choose_targets(
+        self,
+        block: Block,
+        writer: Optional[str],
+        datanodes: Sequence["DataNode"],
+    ) -> BlockLocations:
+        alive = {dn.name for dn in datanodes if dn.alive}
+        candidates = self._eligible_superchunks(alive)
+        if not candidates:
+            raise PlacementError(
+                "no superchunk with free slots spans two live datanodes"
+            )
+        preferred = (
+            [
+                sc_id
+                for sc_id in candidates
+                if any(
+                    (self._node_of(d) or d) == writer or d == writer
+                    for d in self._pair(sc_id)
+                )
+            ]
+            if writer is not None
+            else []
+        )
+        pool = preferred or candidates
+        # Balance by *disk* load (the busier disk of each pair), so every
+        # spindle receives an even share of the write stream; ties break
+        # by superchunk fullness, then by the seeded RNG.
+        def pressure(sc_id: int):
+            a, b = self._pair(sc_id)
+            loads = sorted(
+                (self.map.load_of_disk(a), self.map.load_of_disk(b)), reverse=True
+            )
+            return (loads[0], loads[1], self.map.used_slots(sc_id))
+
+        best = min(pressure(sc) for sc in pool)
+        tied = [sc for sc in pool if pressure(sc) == best]
+        sc_id = self._rng.choice(tied)
+        slot = self.map.allocate_slot(sc_id, block.name)
+        pair = list(self._pair(sc_id))
+        for index, disk in enumerate(pair):
+            if disk == writer or (self._node_of(disk) or disk) == writer:
+                pair.insert(0, pair.pop(index))
+                break
+        return BlockLocations(block=block, datanodes=pair, sc_id=sc_id, slot=slot)
+
+    def _pair(self, sc_id: int) -> Tuple[str, str]:
+        sc = self.layout.superchunk(sc_id)
+        return sc.disk_a, sc.disk_b
+
+    def _eligible_superchunks(self, alive: set) -> List[int]:
+        eligible = []
+        for sc_id, sc in self.layout.superchunks.items():
+            if self.map.is_frozen(sc_id):
+                continue  # under recovery: writes are diverted (§3.4)
+            if sc.disk_a in alive and sc.disk_b in alive and self.map.free_slots(sc_id) > 0:
+                eligible.append(sc_id)
+        return sorted(eligible)
+
+    def release(self, locations: BlockLocations) -> None:
+        """Return a deleted block's slot to the pool."""
+        if locations.sc_id is not None and locations.slot is not None:
+            self.map.release_slot(locations.sc_id, locations.slot)

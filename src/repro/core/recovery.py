@@ -1,0 +1,784 @@
+"""Failure recovery: re-replication planning and Lstor reconstruction.
+
+Covers the paper's Section 3.3 and the Section 6.4 evaluation:
+
+**Single disk failure.**  Every superchunk of the failed disk survives on
+exactly one other disk (its *sender*).  Recovery matches each sender with
+a *receiver* disk such that 1-sharing is preserved, no receiver takes
+more than one superchunk (parallelism), mutual-exchange violations (the
+paper's D0<->D2 example) are excluded, and disk load is balanced.  Two
+planners are provided: a greedy least-loaded planner and a min-cost
+assignment planner on the dynamic Hungarian solver -- the formulation the
+paper sketches in Fig. 6.
+
+**Double disk failure.**  At most one superchunk is shared; it is
+reconstructed on a recovery node by XOR-ing the failed disk's Lstor
+parity with the surviving mirrors of that disk's other superchunks.  The
+timed model matches §6.4: one thread per source (14 superchunk threads +
+1 parity thread on a 16-node cluster), each looping request-chunk /
+lock / XOR, under either a whole-superchunk lock or a byte-range lock,
+at a configurable chunk size and over a configurable NIC -- the axes of
+Table 2.  The content plane is verified bit-exactly through the Lstor.
+
+A RAID-6 full-array rebuild simulator provides Table 2's baseline rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.node import RaidpDataNode
+from repro.errors import DataLossError, MatchingError, RecoveryError
+from repro.hdfs.block import BlockLocations
+from repro.matching.hungarian import DynamicHungarian
+from repro.sim.engine import Simulator
+from repro.sim.network import Nic
+from repro.sim.resources import ByteRangeLock, Lock
+from repro.storage.payload import Payload
+
+
+@dataclass(frozen=True)
+class RecoveryOptions:
+    """Tunable axes of the recovery experiments (Table 2)."""
+
+    chunk_size: int = 4 * units.MiB
+    lock_mode: str = "byte_range"  # or "superchunk"
+    nic_index: int = 0  # 0 = 10 Gbps NIC, 1 = 1 Gbps NIC
+    planner: str = "hungarian"  # or "greedy"
+    #: XOR rate when the working chunk fits the last-level cache.
+    xor_rate_cached: float = 0.78 * units.GB
+    #: XOR rate when chunks stream from DRAM (large chunks miss cache).
+    xor_rate_streaming: float = 0.65 * units.GB
+    #: Chunks at or below this size XOR at the cached rate.
+    cache_threshold: int = 8 * units.MiB
+    #: Fixed cost of taking the reconstruction lock once.
+    lock_overhead: float = 1.3 * units.MSEC
+    #: Share of a streaming (cache-missing) chunk's XOR that contends on
+    #: the receiver's DRAM bus under byte-range locking; hardware
+    #: prefetch overlaps the remainder with other threads.
+    streaming_bus_share: float = 0.75
+    #: Rebuild the lost superchunk's two halves concurrently on two
+    #: recovery nodes, one half per failed disk's Lstor (§3.3: "the two
+    #: Lstors and sets of mirroring superchunks can be used to rebuild
+    #: the lost superchunk in parallel, with each set used to rebuild
+    #: half").  Falls back to single-source when an Lstor is dead.
+    parallel_halves: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lock_mode not in ("byte_range", "superchunk"):
+            raise ValueError(f"unknown lock mode {self.lock_mode!r}")
+        if self.planner not in ("hungarian", "greedy"):
+            raise ValueError(f"unknown planner {self.planner!r}")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk size must be positive")
+
+    @property
+    def xor_rate(self) -> float:
+        """Effective per-thread XOR rate at the configured chunk size."""
+        if self.chunk_size <= self.cache_threshold:
+            return self.xor_rate_cached
+        return self.xor_rate_streaming
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery run did and how long it took."""
+
+    duration: float = 0.0
+    remirrored: List[Tuple[int, str, str]] = field(default_factory=list)
+    reconstructed_sc: Optional[int] = None
+    bytes_reconstructed: int = 0
+    plan_cost: float = 0.0
+
+
+class RecoveryManager:
+    """Drives recovery on a :class:`RaidpCluster`."""
+
+    def __init__(self, dfs: RaidpCluster) -> None:
+        self.dfs = dfs
+        self.sim = dfs.sim
+
+    # ==================================================================
+    # Planning (pure, no simulated time).
+    # ==================================================================
+    def plan_single_failure(
+        self, failed: str, options: Optional[RecoveryOptions] = None
+    ) -> List[Tuple[int, str, str]]:
+        """Match orphan superchunks to receivers: (sc_id, sender, receiver).
+
+        Must be called *after* the failed disk was removed from the
+        layout.  Raises :class:`RecoveryError` when no legal full
+        assignment exists.
+        """
+        options = options or RecoveryOptions()
+        layout = self.dfs.layout
+        orphans = [
+            sc
+            for sc in layout.superchunks.values()
+            if failed in sc.disks and len([d for d in sc.disks if d in layout.disks]) == 1
+        ]
+        if not orphans:
+            return []
+        senders = [(sc.sc_id, sc.mirror_of(failed)) for sc in orphans]
+        # A receiver must be healthy in fact, not just in metadata: a
+        # sweeping failure (whole server down) may not have marked every
+        # sibling disk dead yet.
+        receivers = [
+            dn.name
+            for dn in self.dfs.datanodes
+            if dn.alive
+            and dn.node.alive
+            and not dn.disk.failed
+            and dn.name != failed
+        ]
+        if options.planner == "greedy":
+            return self._plan_greedy(senders, receivers)
+        return self._plan_hungarian(senders, receivers)
+
+    def _legal(self, sender: str, receiver: str) -> bool:
+        """Can ``receiver`` adopt a superchunk whose survivor is ``sender``?
+
+        Like a fresh pairing -- distinct disks, no existing shared
+        superchunk, different failure domains -- except that only the
+        *receiver* needs free capacity: the sender already holds its
+        copy and gains nothing from the transfer.
+        """
+        layout = self.dfs.layout
+        if sender == receiver:
+            return False
+        if sender not in layout.disks or receiver not in layout.disks:
+            return False
+        if layout.same_domain(sender, receiver):
+            return False
+        if layout.shared(sender, receiver) is not None:
+            return False
+        return (
+            len(layout.superchunks_of(receiver)) < layout.max_superchunks(receiver)
+        )
+
+    def _load(self, disk: str) -> int:
+        return self.dfs.map.load_of_disk(disk)
+
+    def _plan_greedy(
+        self, senders: List[Tuple[int, str]], receivers: List[str]
+    ) -> List[Tuple[int, str, str]]:
+        """Least-loaded-first greedy assignment (the naive baseline)."""
+        free = set(receivers)
+        plan = []
+        used_pairs = set()
+        for sc_id, sender in senders:
+            candidates = sorted(
+                (r for r in free if self._legal(sender, r)),
+                key=lambda r: (self._load(r), r),
+            )
+            chosen = None
+            for receiver in candidates:
+                if frozenset((sender, receiver)) not in used_pairs:
+                    chosen = receiver
+                    break
+            if chosen is None:
+                raise RecoveryError(
+                    f"greedy planner: no receiver for superchunk {sc_id}"
+                )
+            free.remove(chosen)
+            used_pairs.add(frozenset((sender, chosen)))
+            plan.append((sc_id, sender, chosen))
+        return plan
+
+    def _plan_hungarian(
+        self, senders: List[Tuple[int, str]], receivers: List[str]
+    ) -> List[Tuple[int, str, str]]:
+        """Min-cost assignment with mutual-exchange elimination.
+
+        Costs are receiver loads, so lightly-loaded disks attract
+        superchunks.  After each solve, any mutual exchange (sender A ->
+        receiver B while sender B -> receiver A, which would create the
+        same shared pair twice or pair two senders) has its costlier edge
+        removed and the problem re-solved on the warm-started dynamic
+        solver -- the paper's Mills-Tettey use case.
+        """
+        cost: List[List[Optional[float]]] = []
+        for _sc_id, sender in senders:
+            row = [
+                float(self._load(receiver)) if self._legal(sender, receiver) else None
+                for receiver in receivers
+            ]
+            cost.append(row)
+        solver = DynamicHungarian(cost)
+        for _round in range(len(senders) * len(receivers) + 1):
+            try:
+                assignment, total = solver.solve()
+            except MatchingError as err:
+                raise RecoveryError(f"hungarian planner: {err}") from err
+            conflict = self._find_exchange_conflict(assignment, senders, receivers)
+            if conflict is None:
+                plan = [
+                    (senders[row][0], senders[row][1], receivers[col])
+                    for row, col in sorted(assignment.items())
+                ]
+                self._last_plan_cost = total
+                return plan
+            solver.remove_edge(*conflict)
+        raise RecoveryError("hungarian planner failed to converge")
+
+    def _find_exchange_conflict(
+        self,
+        assignment: Dict[int, int],
+        senders: List[Tuple[int, str]],
+        receivers: List[str],
+    ) -> Optional[Tuple[int, int]]:
+        """Detect A->B while B->A; returns the costlier edge to remove."""
+        chosen = {
+            senders[row][1]: (row, receivers[col]) for row, col in assignment.items()
+        }
+        for sender, (row, receiver) in chosen.items():
+            back = chosen.get(receiver)
+            if back is not None and back[1] == sender:
+                other_row = back[0]
+                # Remove the edge whose receiver carries more load.
+                if self._load(receiver) >= self._load(sender):
+                    return (row, assignment[row])
+                return (other_row, assignment[other_row])
+        return None
+
+    # ==================================================================
+    # Single-failure execution.
+    # ==================================================================
+    def recover_single_failure(
+        self, failed: str, options: Optional[RecoveryOptions] = None
+    ) -> RecoveryReport:
+        """Full single-failure recovery, driving the simulation itself.
+
+        Use :meth:`single_failure_body` instead when calling from inside
+        a running simulation process (e.g. the cluster monitor).
+        """
+        return self.sim.run_process(
+            self.single_failure_body(failed, options), name=f"recover:{failed}"
+        )
+
+    def single_failure_body(
+        self, failed: str, options: Optional[RecoveryOptions] = None
+    ) -> Generator:
+        """Process body: plan, transfer, rewire metadata; returns a report."""
+        options = options or RecoveryOptions()
+        report = RecoveryReport()
+        started = self.sim.now
+        self.dfs.namenode.mark_datanode_dead(failed)
+        # Divert writes away from the affected superchunks until the
+        # recovery completes (paper §3.4).
+        frozen = list(self.dfs.layout.superchunks_of(failed))
+        for sc_id in frozen:
+            self.dfs.map.freeze(sc_id)
+        try:
+            self.dfs.layout.remove_disk(failed)
+            self._last_plan_cost = 0.0
+            plan = self.plan_single_failure(failed, options)
+            report.plan_cost = getattr(self, "_last_plan_cost", 0.0)
+            if plan:
+                transfers = [
+                    self.sim.process(
+                        self._remirror_superchunk(sc_id, sender, receiver, options),
+                        name=f"remirror:sc{sc_id}",
+                    )
+                    for sc_id, sender, receiver in plan
+                ]
+                yield self.sim.all_of(transfers)
+            report.remirrored = plan
+        finally:
+            for sc_id in frozen:
+                self.dfs.map.unfreeze(sc_id)
+        report.duration = self.sim.now - started
+        return report
+
+    def _remirror_superchunk(
+        self, sc_id: int, sender: str, receiver: str, options: RecoveryOptions
+    ) -> Generator:
+        """Copy one superchunk's live blocks sender -> receiver."""
+        dfs = self.dfs
+        src = dfs.datanode_by_name(sender)
+        dst = dfs.datanode_by_name(receiver)
+        blocks = dfs.map.blocks_in(sc_id)
+        updated = dfs.layout.remirror(sc_id, receiver)
+        dfs.map.register_superchunk(sc_id)
+        for slot in sorted(blocks):
+            block_name = blocks[slot]
+            locations = self._locations_by_name(block_name)
+            if locations is None:
+                continue  # a preallocation filler, not a live block
+            payload = src.content_of(block_name)
+            # Read at the sender, stream, write at the receiver.
+            read = self.sim.process(
+                src.fs.read(block_name, 0, locations.block.size)
+            )
+            flow = dfs.switch.transfer(
+                src.node.nics[options.nic_index],
+                dst.node.nics[options.nic_index],
+                locations.block.size,
+            )
+            yield self.sim.all_of([read, flow])
+            dst.install_recovered_block(locations, payload)
+            yield from dst.fs.write(locations.block.name, 0, locations.block.size)
+            if receiver not in locations.datanodes:
+                locations.datanodes.append(receiver)
+        return None
+
+    def _locations_by_name(self, block_name: str) -> Optional[BlockLocations]:
+        for locations in self.dfs.namenode.all_blocks():
+            if locations.block.name == block_name:
+                return locations
+        return None
+
+    # ==================================================================
+    # Double-failure reconstruction (Table 2's RAIDP rows).
+    # ==================================================================
+    def recover_double_failure(
+        self,
+        failed_a: str,
+        failed_b: str,
+        recovery_node: Optional[str] = None,
+        options: Optional[RecoveryOptions] = None,
+        remirror_rest: bool = True,
+        install: bool = True,
+    ) -> RecoveryReport:
+        """Survive a simultaneous two-disk failure (drives the sim).
+
+        Use :meth:`double_failure_body` from inside a running simulation
+        process.
+        """
+        return self.sim.run_process(
+            self.double_failure_body(
+                failed_a,
+                failed_b,
+                recovery_node=recovery_node,
+                options=options,
+                remirror_rest=remirror_rest,
+                install=install,
+            ),
+            name=f"recover:{failed_a}+{failed_b}",
+        )
+
+    def double_failure_body(
+        self,
+        failed_a: str,
+        failed_b: str,
+        recovery_node: Optional[str] = None,
+        options: Optional[RecoveryOptions] = None,
+        remirror_rest: bool = True,
+        install: bool = True,
+    ) -> Generator:
+        """Process body for a simultaneous two-disk failure.
+
+        Reconstructs the shared superchunk from ``failed_a``'s Lstor and
+        the surviving mirrors of its other superchunks, then (optionally)
+        re-replicates both disks' remaining superchunks like two single
+        failures.  Returns the report; reconstruction correctness is
+        verified bit-exactly by the caller via the cluster invariants.
+        """
+        options = options or RecoveryOptions()
+        dfs = self.dfs
+        report = RecoveryReport()
+        started = self.sim.now
+        shared = dfs.layout.shared(failed_a, failed_b)
+        # Divert writes away from both disks' superchunks for the whole
+        # recovery window (paper §3.4).
+        frozen = {
+            sc_id
+            for failed in (failed_a, failed_b)
+            for sc_id in dfs.layout.superchunks_of(failed)
+        }
+        for sc_id in frozen:
+            dfs.map.freeze(sc_id)
+        lost_source = dfs.datanode_by_name(failed_a)
+        if lost_source.lstors.primary.failed:
+            lost_source = dfs.datanode_by_name(failed_b)
+            if lost_source.lstors.primary.failed:
+                raise DataLossError(
+                    "both Lstors gone: the shared superchunk is unrecoverable"
+                )
+        # Source superchunks *before* the layout forgets the failed disks.
+        source_scs = [
+            sc_id
+            for sc_id in dfs.layout.superchunks_of(lost_source.name)
+            if sc_id != shared
+        ]
+        mirrors = {
+            sc_id: dfs.layout.superchunk(sc_id).mirror_of(lost_source.name)
+            for sc_id in source_scs
+        }
+        dfs.namenode.mark_datanode_dead(failed_a)
+        dfs.namenode.mark_datanode_dead(failed_b)
+
+        rebuilt: Dict[int, Payload] = {}
+        if shared is not None:
+            receiver_name = recovery_node or self._pick_recovery_node(
+                exclude={failed_a, failed_b}
+            )
+            other_source = dfs.datanode_by_name(
+                failed_b if lost_source.name == failed_a else failed_a
+            )
+            if options.parallel_halves and not other_source.lstors.primary.failed:
+                rebuilt = yield from self._reconstruct_halves(
+                    shared, lost_source, other_source, receiver_name, options
+                )
+            else:
+                rebuilt = yield from self._reconstruct_superchunk(
+                    shared, lost_source, mirrors, receiver_name, options
+                )
+            report.reconstructed_sc = shared
+            report.bytes_reconstructed = len(rebuilt) * dfs.config.block_size
+            if install:
+                # Re-home onto a legal pair and rewire metadata.  §6.4's
+                # timing experiment measures reconstruction only (and a
+                # maximally-dense layout has no legal pair left), so the
+                # Table 2 harness passes install=False.
+                self._install_reconstruction(
+                    shared, rebuilt, receiver_name, failed_a, failed_b
+                )
+
+        for failed in (failed_a, failed_b):
+            if failed in dfs.layout.disks:  # _install_reconstruction may have removed them
+                dfs.layout.remove_disk(failed)
+        if remirror_rest:
+            for failed in (failed_a, failed_b):
+                plan = self.plan_single_failure(failed, options)
+                if plan:
+                    procs = [
+                        self.sim.process(
+                            self._remirror_superchunk(sc, s, r, options)
+                        )
+                        for sc, s, r in plan
+                    ]
+                    yield self.sim.all_of(procs)
+                report.remirrored.extend(plan)
+        for sc_id in frozen:
+            dfs.map.unfreeze(sc_id)
+        report.duration = self.sim.now - started
+        return report
+
+    def _pick_recovery_node(self, exclude: set) -> str:
+        for dn in self.dfs.datanodes:
+            if dn.alive and dn.name not in exclude:
+                return dn.name
+        raise RecoveryError("no live node available for reconstruction")
+
+    def _reconstruct_superchunk(
+        self,
+        shared_sc: int,
+        lost_source: RaidpDataNode,
+        mirrors: Dict[int, str],
+        receiver_name: str,
+        options: RecoveryOptions,
+        byte_range: Optional[Tuple[int, int]] = None,
+        slots: Optional[range] = None,
+    ) -> Generator:
+        """Process body: threads pull chunks, lock, and XOR.
+
+        ``byte_range``/``slots`` restrict the work to part of the
+        superchunk (the parallel-halves mode); default is the whole
+        thing.  Returns slot -> payload of the rebuilt superchunk
+        (logical plane, computed through the Lstor for bit-exactness).
+        """
+        dfs = self.dfs
+        receiver = dfs.datanode_by_name(receiver_name)
+        full_size = dfs.layout.spec.superchunk_size
+        byte_lo, byte_hi = byte_range if byte_range is not None else (0, full_size)
+        sc_size = byte_hi - byte_lo
+        block_size = dfs.config.block_size
+
+        # --- logical plane: XOR parity with surviving mirror contents.
+        surviving: Dict[int, Dict[int, Payload]] = {}
+        for sc_id, mirror_name in mirrors.items():
+            mirror = dfs.datanode_by_name(mirror_name)
+            if not mirror.alive:
+                raise DataLossError(
+                    f"mirror {mirror_name} of superchunk {sc_id} is dead too"
+                )
+            surviving[sc_id] = mirror.superchunk_payloads(sc_id)
+        if slots is None:
+            slots = range(dfs.map.slots_per_superchunk)
+        rebuilt: Dict[int, Payload] = {}
+        for slot in slots:
+            blocks_at_slot = {
+                lost_source.shard_index_of(sc_id): payloads[slot]
+                for sc_id, payloads in surviving.items()
+                if slot in payloads
+            }
+            missing = lost_source.shard_index_of(shared_sc)
+            accum = lost_source.lstors.primary.parity_block(slot)
+            for payload in blocks_at_slot.values():
+                accum = accum.xor(payload)
+            if not accum.is_zero():
+                rebuilt[slot] = accum
+
+        # --- timed plane: one puller thread per source + one for parity.
+        lock_whole = Lock(self.sim, name="reconstruct")
+        lock_ranges = ByteRangeLock(self.sim, name="reconstruct")
+        # Large chunks miss the last-level cache, so concurrent XOR
+        # threads contend on the receiver's DRAM bandwidth: one streaming
+        # XOR at a time.  Cache-resident (small) chunks XOR in parallel.
+        memory_bus = Lock(self.sim, name="xor-bus")
+        streaming = options.chunk_size > options.cache_threshold
+        nic_of = lambda dn: dn.node.nics[options.nic_index]  # noqa: E731
+        rx_nic = nic_of(receiver)
+
+        def puller(source_dn: RaidpDataNode, source_sc: Optional[int]) -> Generator:
+            """Stream one source (a mirror superchunk, or the parity when
+            ``source_sc`` is None) into the receiver, chunk by chunk."""
+            offset = byte_lo
+            while offset < byte_hi:
+                run = min(options.chunk_size, byte_hi - offset)
+                ops = []
+                if source_sc is not None:
+                    ops.append(
+                        self.sim.process(
+                            source_dn.disk.read(
+                                source_dn.superchunk_base(source_sc) + offset,
+                                run,
+                            )
+                        )
+                    )
+                ops.append(
+                    dfs.switch.transfer(nic_of(source_dn), rx_nic, run)
+                )
+                yield self.sim.all_of(ops)
+                # XOR the received chunk into the staging buffer under the
+                # configured correctness lock.  A superchunk-wide lock
+                # serializes everything by itself; byte-range XORs run in
+                # parallel except for the share of a streaming chunk that
+                # contends on DRAM bandwidth (prefetch hides the rest).
+                xor_time = run / options.xor_rate
+                if options.lock_mode == "superchunk":
+                    grant = yield lock_whole.request()
+                    yield self.sim.timeout(options.lock_overhead + xor_time)
+                    lock_whole.release(grant)
+                else:
+                    grant = yield lock_ranges.acquire(offset, offset + run)
+                    bus_share = options.streaming_bus_share if streaming else 0.0
+                    yield self.sim.timeout(
+                        options.lock_overhead + (1.0 - bus_share) * xor_time
+                    )
+                    if bus_share > 0.0:
+                        bus_grant = yield memory_bus.request()
+                        yield self.sim.timeout(bus_share * xor_time)
+                        memory_bus.release(bus_grant)
+                    lock_ranges.release(grant)
+                offset += run
+            return None
+
+        def writer() -> Generator:
+            # Move assembled block files to the receiver's disk.
+            written = 0
+            while written < sc_size:
+                run = min(block_size, sc_size - written)
+                yield from receiver.disk.write(
+                    receiver.disk.geometry.capacity - full_size + byte_lo + written,
+                    run,
+                )
+                written += run
+            return None
+
+        threads = [
+            self.sim.process(
+                puller(dfs.datanode_by_name(mirror_name), sc_id),
+                name=f"pull:sc{sc_id}",
+            )
+            for sc_id, mirror_name in mirrors.items()
+        ]
+        threads.append(
+            self.sim.process(puller(lost_source, None), name="pull:parity")
+        )
+        yield self.sim.all_of(threads)
+        yield self.sim.process(writer(), name="assemble")
+        return rebuilt
+
+    def _reconstruct_halves(
+        self,
+        shared_sc: int,
+        source_a: RaidpDataNode,
+        source_b: RaidpDataNode,
+        receiver_name: str,
+        options: RecoveryOptions,
+    ) -> Generator:
+        """Rebuild the two halves concurrently, one per failed Lstor.
+
+        Half A comes from ``source_a``'s parity and its mirrors; half B
+        symmetrically from ``source_b`` -- demonstrating the §3.3
+        flexibility that either Lstor can serve any part of the
+        superchunk.  Each half streams into its own recovery node, so
+        the receiver NIC bottleneck halves too.
+        """
+        dfs = self.dfs
+        slots_total = dfs.map.slots_per_superchunk
+        if slots_total < 2:
+            mirrors = self._mirrors_of(source_a, shared_sc)
+            result = yield from self._reconstruct_superchunk(
+                shared_sc, source_a, mirrors, receiver_name, options
+            )
+            return result
+        block_size = dfs.config.block_size
+        mid_slot = slots_total // 2
+        mid_byte = mid_slot * block_size
+        full_size = dfs.layout.spec.superchunk_size
+        receiver_b = self._pick_recovery_node(
+            exclude={source_a.name, source_b.name, receiver_name}
+        )
+        half_a = self.sim.process(
+            self._reconstruct_superchunk(
+                shared_sc,
+                source_a,
+                self._mirrors_of(source_a, shared_sc),
+                receiver_name,
+                options,
+                byte_range=(0, mid_byte),
+                slots=range(0, mid_slot),
+            ),
+            name="rebuild:half-a",
+        )
+        half_b = self.sim.process(
+            self._reconstruct_superchunk(
+                shared_sc,
+                source_b,
+                self._mirrors_of(source_b, shared_sc),
+                receiver_b,
+                options,
+                byte_range=(mid_byte, full_size),
+                slots=range(mid_slot, slots_total),
+            ),
+            name="rebuild:half-b",
+        )
+        results = yield self.sim.all_of([half_a, half_b])
+        rebuilt: Dict[int, Payload] = {}
+        for partial in results:
+            rebuilt.update(partial)
+        return rebuilt
+
+    def _mirrors_of(self, source: RaidpDataNode, shared_sc: int) -> Dict[int, str]:
+        """Mirror disk of each of ``source``'s other superchunks."""
+        layout = self.dfs.layout
+        return {
+            sc_id: layout.superchunk(sc_id).mirror_of(source.name)
+            for sc_id in layout.superchunks_of(source.name)
+            if sc_id != shared_sc
+        }
+
+    def _install_reconstruction(
+        self,
+        sc_id: int,
+        rebuilt: Dict[int, Payload],
+        receiver_name: str,
+        failed_a: str,
+        failed_b: str,
+    ) -> None:
+        """Re-home the reconstructed superchunk and update all metadata."""
+        dfs = self.dfs
+        partner_name = self._pick_partner_for(receiver_name, {failed_a, failed_b})
+        # Forget the dead homes first so rehome sees a fully-orphaned chunk.
+        for failed in (failed_a, failed_b):
+            if failed in dfs.layout.disks:
+                dfs.layout.remove_disk(failed)
+        dfs.layout.rehome(sc_id, receiver_name, partner_name)
+        dfs.map.register_superchunk(sc_id)
+        blocks = dfs.map.blocks_in(sc_id)
+        for slot, block_name in sorted(blocks.items()):
+            locations = self._locations_by_name(block_name)
+            if locations is None:
+                continue
+            payload = rebuilt.get(slot)
+            if payload is None:
+                raise DataLossError(
+                    f"reconstruction hole: block {block_name} at slot {slot}"
+                )
+            for home in (receiver_name, partner_name):
+                datanode = dfs.datanode_by_name(home)
+                datanode.install_recovered_block(locations, payload)
+                if home not in locations.datanodes:
+                    locations.datanodes.append(home)
+
+    def _pick_partner_for(self, receiver: str, exclude: set) -> str:
+        layout = self.dfs.layout
+        for dn in self.dfs.datanodes:
+            name = dn.name
+            if not dn.alive or name == receiver or name in exclude:
+                continue
+            if layout.shared(receiver, name) is None:
+                return name
+        raise RecoveryError(
+            f"no legal mirror partner for reconstructed superchunk on {receiver}"
+        )
+
+
+# ======================================================================
+# RAID-6 rebuild baseline (Table 2, bottom rows).
+# ======================================================================
+def simulate_raid6_rebuild(
+    data_per_disk: int,
+    surviving_disks: int = 14,
+    chunk_size: int = 4 * units.MiB,
+    nic_rate: float = units.gbps(10),
+    disk_rate: Optional[float] = None,
+    xor_rate: Optional[float] = None,
+) -> float:
+    """Simulated wall-clock of a distributed RAID-6 double rebuild.
+
+    Every stripe lost two blocks, so *all* data on *all* survivors must be
+    read and shipped to the rebuild master, decoded, and two disks'
+    worth of data written back out.  Returns the duration in seconds.
+    """
+    if xor_rate is None:
+        # Same cache-vs-streaming decode rates as the RAIDP reconstruction.
+        defaults = RecoveryOptions(chunk_size=chunk_size)
+        xor_rate = defaults.xor_rate
+    sim = Simulator()
+    from repro.sim.disk import DiskGeometry
+    from repro.sim.network import Switch
+
+    geometry = (
+        DiskGeometry(transfer_rate=disk_rate) if disk_rate else DiskGeometry()
+    )
+    switch = Switch(sim)
+    master = switch.attach(Nic("master", nic_rate))
+    replacements = [
+        switch.attach(Nic(f"replacement{i}", nic_rate)) for i in range(2)
+    ]
+    sources = [switch.attach(Nic(f"src{i}", nic_rate)) for i in range(surviving_disks)]
+    from repro.sim.disk import Disk
+
+    source_disks = [Disk(sim, geometry, name=f"sd{i}") for i in range(surviving_disks)]
+    replacement_disks = [Disk(sim, geometry, name=f"rd{i}") for i in range(2)]
+
+    def source_stream(index: int) -> Generator:
+        offset = 0
+        while offset < data_per_disk:
+            run = min(chunk_size, data_per_disk - offset)
+            read = sim.process(source_disks[index].read(offset, run))
+            flow = switch.transfer(sources[index], master, run)
+            yield sim.all_of([read, flow])
+            # Decode on the master (serialized per received chunk).
+            yield sim.timeout(run / xor_rate)
+            offset += run
+        return None
+
+    def writeback(index: int) -> Generator:
+        offset = 0
+        while offset < data_per_disk:
+            run = min(chunk_size, data_per_disk - offset)
+            flow = switch.transfer(master, replacements[index], run)
+            write = sim.process(replacement_disks[index].write(offset, run))
+            yield sim.all_of([flow, write])
+            offset += run
+        return None
+
+    def rebuild() -> Generator:
+        readers = [
+            sim.process(source_stream(i), name=f"src{i}")
+            for i in range(surviving_disks)
+        ]
+        yield sim.all_of(readers)
+        writers = [sim.process(writeback(i), name=f"wb{i}") for i in range(2)]
+        yield sim.all_of(writers)
+
+    sim.run_process(rebuild())
+    return sim.now

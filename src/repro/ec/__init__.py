@@ -1,0 +1,27 @@
+"""Erasure-coding substrate built from scratch.
+
+The paper's baseline comparisons (RAID-6 in Table 2, the n+2 erasure
+column of Table 1) and the "stacked Lstors" extension (k local parities
+tolerating k+1 failures) all need real erasure codes:
+
+- :mod:`repro.ec.gf256` -- arithmetic in GF(2^8) with log/antilog tables
+  and numpy-vectorized bulk operations.
+- :mod:`repro.ec.reed_solomon` -- a systematic Reed-Solomon codec built
+  from a Vandermonde-derived generator matrix; decodes from any k of n
+  shards (MDS).
+- :mod:`repro.ec.raid6` -- the classic P+Q array code with closed-form
+  one- and two-erasure recovery, plus an array model used as the Table 2
+  recovery baseline.
+"""
+
+from repro.ec.gf256 import GF256
+from repro.ec.reed_solomon import ReedSolomon
+from repro.ec.raid6 import Raid6Array, pq_encode, pq_recover_two_data
+
+__all__ = [
+    "GF256",
+    "Raid6Array",
+    "ReedSolomon",
+    "pq_encode",
+    "pq_recover_two_data",
+]

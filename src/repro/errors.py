@@ -1,0 +1,81 @@
+"""Exception hierarchy for the RAIDP reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming mistakes.
+The hierarchy mirrors the subsystem structure: simulation, layout,
+distributed-filesystem, device, and recovery errors each get a branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class LayoutError(ReproError):
+    """A superchunk layout violates 1-sharing or 1-mirroring."""
+
+
+class CapacityError(LayoutError):
+    """No legal superchunk slot is available for an allocation."""
+
+
+class DeviceError(ReproError):
+    """A simulated device was used incorrectly or is unavailable."""
+
+
+class DiskFailedError(DeviceError):
+    """I/O was issued against a disk that has failed."""
+
+
+class LstorFailedError(DeviceError):
+    """An Lstor access was issued against a failed Lstor."""
+
+
+class DfsError(ReproError):
+    """Distributed-filesystem level failure."""
+
+
+class FileNotFoundInDfsError(DfsError):
+    """The requested path does not exist in the namespace."""
+
+
+class FileExistsInDfsError(DfsError):
+    """The path being created already exists in the namespace."""
+
+
+class BlockMissingError(DfsError):
+    """No live replica of a block is reachable."""
+
+
+class PlacementError(DfsError):
+    """The placement policy could not find a legal set of targets."""
+
+
+class RecoveryError(ReproError):
+    """Failure recovery could not complete."""
+
+
+class DataLossError(RecoveryError):
+    """Failures exceeded the redundancy of the configuration."""
+
+
+class JournalError(ReproError):
+    """Journal protocol violation (e.g. replay of a corrupt record)."""
+
+
+class CodingError(ReproError):
+    """Erasure-coding failure (e.g. too few shards to decode)."""
+
+
+class MatchingError(ReproError):
+    """No feasible assignment exists for a matching problem."""

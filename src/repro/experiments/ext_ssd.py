@@ -1,0 +1,75 @@
+"""Extension: the §8 SSD what-if.
+
+Re-runs the Fig. 8 write family on flash geometry.  The paper predicts
+"upgrading to SSDs will likely reduce the amount of performance impact
+that random I/O currently has in our workloads": the unoptimized
+configurations' ping-pong penalty and the re-write variant's seek costs
+should shrink toward the pure transfer-count ratios.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.node import RaidpConfig
+from repro.experiments.common import Scale, pick_scale
+from repro.experiments.runner import ExperimentResult
+from repro.hdfs.config import DfsConfig
+from repro.hdfs.filesystem import HdfsCluster
+from repro.sim.cluster import ClusterSpec
+from repro.sim.disk import DiskGeometry, ssd_geometry
+from repro.workloads.dfsio import dfsio_write
+
+CONFIGS = [
+    ("raidp opt +journal", dict()),
+    ("raidp re-write +journal", dict(update_oriented=True)),
+    (
+        "raidp unopt only-superchunks",
+        dict(optimized=False, enable_parity=False, enable_journal=False),
+    ),
+]
+
+
+def _family(geometry: DiskGeometry, scale: Scale, dataset: int):
+    spec = ClusterSpec(num_nodes=scale.num_nodes, disk_geometry=geometry)
+    hdfs = HdfsCluster(
+        spec=spec, config=DfsConfig(replication=3), payload_mode="tokens", seed=1
+    )
+    baseline = dfsio_write(hdfs, dataset).runtime
+    ratios = {}
+    for label, kwargs in CONFIGS:
+        dfs = RaidpCluster(
+            spec=spec,
+            config=DfsConfig(replication=2),
+            raidp=RaidpConfig(**kwargs),
+            superchunk_size=scale.superchunk_size,
+            payload_mode="tokens",
+            seed=1,
+        )
+        ratios[label] = dfsio_write(dfs, dataset).runtime / baseline
+    return ratios
+
+
+def run(full_scale: bool = False) -> ExperimentResult:
+    scale = pick_scale(full_scale)
+    dataset = scale.unoptimized_dataset  # unoptimized configs simulate packets
+    result = ExperimentResult(
+        experiment="ext-ssd",
+        title="the Fig. 8 write family on flash (paper §8 what-if)",
+        unit="runtime / HDFS-3 runtime (same media)",
+    )
+    hdd = _family(DiskGeometry(), scale, dataset)
+    ssd = _family(ssd_geometry(), scale, dataset)
+    for label, _ in CONFIGS:
+        result.add(f"{label} [HDD]", hdd[label])
+        result.add(f"{label} [SSD]", ssd[label])
+    result.notes = (
+        "expected shape: the random-I/O penalties vanish on flash -- the "
+        "unoptimized bar collapses to the optimized level and the re-write "
+        "overhead settles at the per-disk transfer bound (2 transfers per "
+        "disk vs 1 on HDFS-3).  The flip side, matching §8's caution: with "
+        "seeks gone, the Lstor/journal device transfers dominate, so the "
+        "+journal configuration loses its HDD-era advantage unless Lstors "
+        "scale up with the media (raise RaidpConfig.lstor_write_rate)"
+    )
+    return result

@@ -1,0 +1,26 @@
+"""Fig. 1: storage efficiency vs repair efficiency for the three schemes."""
+
+from __future__ import annotations
+
+from repro.analysis.design_space import design_space_points, verify_middle_point
+from repro.experiments.runner import ExperimentResult
+
+
+def run(full_scale: bool = False, n: int = 10, superchunks_per_disk: int = 15) -> ExperimentResult:
+    del full_scale  # analytic; no scale
+    points = design_space_points(n=n, superchunks_per_disk=superchunks_per_disk)
+    result = ExperimentResult(
+        experiment="fig1",
+        title="design space: storage efficiency vs repair efficiency",
+        unit="efficiency (1.0 = ideal)",
+    )
+    for point in points:
+        result.add(f"{point.scheme}: storage", point.storage_efficiency)
+        result.add(f"{point.scheme}: repair (1 failure)", point.repair_efficiency_single)
+        result.add(f"{point.scheme}: repair (2 failures)", point.repair_efficiency_double)
+    result.notes = (
+        "middle-point property holds"
+        if verify_middle_point(points)
+        else "WARNING: middle-point property violated"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Fig. 9: TestDFSIO read performance.
+
+Reads back the data written by the Fig. 8 configurations.  The paper's
+headline: every configuration reads at essentially the same speed
+(relative runtimes 0.96-1.03), because reads must follow whatever layout
+writing produced and the replica choice is uniform.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SEEDS,
+    averaged,
+    build_hdfs,
+    build_raidp,
+    pick_scale,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.workloads.dfsio import dfsio_read, dfsio_write
+
+#: (label, raidp kwargs or replication, paper's relative read runtime).
+BARS = [
+    ("raidp opt: only superchunks", dict(enable_parity=False, enable_journal=False), 0.99),
+    ("raidp opt: +lstor", dict(enable_parity=True, enable_journal=False), 1.00),
+    ("raidp opt: +journal", dict(), 1.03),
+    ("raidp re-write: +journal", dict(update_oriented=True), 0.98),
+]
+
+
+def run(full_scale: bool = False, seeds=DEFAULT_SEEDS) -> ExperimentResult:
+    scale = pick_scale(full_scale)
+    result = ExperimentResult(
+        experiment="fig9",
+        title="TestDFSIO read runtime relative to HDFS-3",
+        unit="runtime / HDFS-3 runtime",
+    )
+
+    def hdfs_read(replication: int):
+        def one(seed: int):
+            dfs = build_hdfs(replication, scale, seed)
+            dfsio_write(dfs, scale.dataset)
+            return dfsio_read(dfs).runtime
+
+        return averaged(one, seeds)
+
+    def raidp_read(kwargs: dict):
+        def one(seed: int):
+            dfs = build_raidp(scale, seed, **kwargs)
+            dfsio_write(dfs, scale.dataset)
+            return dfsio_read(dfs).runtime
+
+        return averaged(one, seeds)
+
+    baseline = hdfs_read(3)
+    result.add("hdfs 2 replicas", hdfs_read(2) / baseline, 1.03)
+    result.add("hdfs 3 replicas", 1.0, 1.00)
+    for label, kwargs, paper in BARS:
+        result.add(label, raidp_read(kwargs) / baseline, paper)
+    result.notes = "expected shape: all configurations within a few percent of 1.0"
+    return result

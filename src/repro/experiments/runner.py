@@ -1,0 +1,115 @@
+"""Experiment registry, result type, and CLI entry point."""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one regenerated table/figure.
+
+    ``rows`` are (label, measured, paper_value) triples; ``paper_value``
+    is None for rows the paper gives no number for.  ``unit`` describes
+    the measured quantity.
+    """
+
+    experiment: str
+    title: str
+    rows: List[Tuple[str, float, Optional[float]]] = field(default_factory=list)
+    unit: str = ""
+    notes: str = ""
+
+    def add(self, label: str, measured: float, paper: Optional[float] = None) -> None:
+        self.rows.append((label, measured, paper))
+
+    def render(self) -> str:
+        width = max((len(label) for label, _m, _p in self.rows), default=20)
+        lines = [f"== {self.experiment}: {self.title} ==".rstrip()]
+        header = f"{'row':<{width}}  {'measured':>12}  {'paper':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for label, measured, paper in self.rows:
+            paper_text = f"{paper:>10.2f}" if paper is not None else f"{'-':>10}"
+            lines.append(f"{label:<{width}}  {measured:>12.2f}  {paper_text}")
+        if self.unit:
+            lines.append(f"(unit: {self.unit})")
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+#: experiment id -> (module, title).
+REGISTRY: Dict[str, Tuple[str, str]] = {
+    "fig1": ("repro.experiments.fig1_design_space", "design space points"),
+    "table1": ("repro.experiments.table1_properties", "property matrix"),
+    "fig7": ("repro.experiments.fig7_cost", "datacenter cost analysis"),
+    "fig8": ("repro.experiments.fig8_write", "TestDFSIO write performance"),
+    "fig9": ("repro.experiments.fig9_read", "TestDFSIO read performance"),
+    "fig10": ("repro.experiments.fig10_benchmarks", "RAIDP vs HDFS-3 benchmarks"),
+    "table2": ("repro.experiments.table2_recovery", "superchunk recovery runtimes"),
+    # Beyond the paper: its §2 claims and §8 future work, quantified.
+    "ext-durability": (
+        "repro.experiments.ext_durability",
+        "durability vs availability (extension)",
+    ),
+    "ext-updates": (
+        "repro.experiments.ext_updates",
+        "in-place updates vs rewrites (extension)",
+    ),
+    "ext-ssd": ("repro.experiments.ext_ssd", "the write family on flash (extension)"),
+}
+
+
+def list_experiments() -> List[str]:
+    return sorted(REGISTRY)
+
+
+def get_experiment(name: str) -> Callable:
+    if name not in REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; known: {list_experiments()}")
+    module_name, _title = REGISTRY[name]
+    module = importlib.import_module(module_name)
+    return module.run
+
+
+def run_experiment(name: str, **kwargs) -> "ExperimentResult":
+    return get_experiment(name)(**kwargs)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="raidp-experiments",
+        description="Regenerate the RAIDP paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig1, table1, fig7, fig8, fig9, fig10, table2) "
+        "or 'all'; empty lists the registry",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at paper scale (100 GB datasets; slow)",
+    )
+    args = parser.parse_args(argv)
+    if not args.experiments:
+        print("available experiments:")
+        for name in list_experiments():
+            print(f"  {name:<8} {REGISTRY[name][1]}")
+        return 0
+    names = list_experiments() if args.experiments == ["all"] else args.experiments
+    for name in names:
+        result = run_experiment(name, full_scale=args.full)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Table 1: the derived property matrix, rendered alongside the symbols."""
+
+from __future__ import annotations
+
+from repro.analysis.properties import SCHEMES, property_matrix, render_matrix
+from repro.experiments.runner import ExperimentResult
+
+#: Symbol -> score for tabulating ratings numerically (+=1, ±=0, -=-1).
+_SYMBOL_SCORE = {"+": 1.0, "±": 0.0, "-": -1.0}
+
+
+def run(full_scale: bool = False) -> ExperimentResult:
+    del full_scale  # analytic; no scale
+    rows = property_matrix()
+    result = ExperimentResult(
+        experiment="table1",
+        title="property comparison (+1 best / 0 mid / -1 worst)",
+        unit="rating score",
+    )
+    for row in rows:
+        for scheme in SCHEMES:
+            result.add(
+                f"{row.name} [{scheme}]",
+                _SYMBOL_SCORE[row.ratings[scheme].value],
+            )
+    result.notes = "\n" + render_matrix(rows)
+    return result

@@ -1,0 +1,37 @@
+"""An HDFS-like distributed filesystem substrate.
+
+The paper implements RAIDP as a ~3 kLoC patch to HDFS 1.0.4.  This
+package recreates the slice of HDFS the patch interacts with, running on
+the :mod:`repro.sim` cluster:
+
+- :mod:`repro.hdfs.config` -- block/packet sizes and replication knobs.
+- :mod:`repro.hdfs.block` -- block identities and location records.
+- :mod:`repro.hdfs.localfs` -- the per-disk local-filesystem allocation
+  model (ext4-style extent allocation vs fixed preallocated offsets);
+  this is what makes concurrent HDFS writers sequential on disk and
+  unoptimized RAIDP writers seek-bound.
+- :mod:`repro.hdfs.namenode` -- namespace, block map, placement policies,
+  failure handling.
+- :mod:`repro.hdfs.datanode` -- block storage, packet-level and
+  accumulated write paths, replica serving.
+- :mod:`repro.hdfs.client` -- the DFS client: pipelined writes and
+  replica-choice reads.
+"""
+
+from repro.hdfs.block import Block, BlockLocations
+from repro.hdfs.client import DfsClient
+from repro.hdfs.config import DfsConfig
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.localfs import LocalFs
+from repro.hdfs.namenode import NameNode, ReplicationPlacement
+
+__all__ = [
+    "Block",
+    "BlockLocations",
+    "DataNode",
+    "DfsClient",
+    "DfsConfig",
+    "LocalFs",
+    "NameNode",
+    "ReplicationPlacement",
+]

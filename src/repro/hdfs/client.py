@@ -1,0 +1,248 @@
+"""DFS client: pipelined block writes and replica-choice reads.
+
+The client runs on a cluster node (Hadoop tasks are collocated with
+DataNodes).  A file write proceeds block by block, as through one HDFS
+output stream:
+
+1. ask the NameNode for a block and its replica pipeline,
+2. stream the block along the pipeline -- modeled as cut-through: the
+   client->dn1, dn1->dn2, ... flows run concurrently, each full-block
+   sized, so pipeline latency is the max hop time rather than the sum,
+3. each DataNode persists its replica (streamed or accumulated path),
+4. run the post-block hook (RAIDP's journal acknowledgment exchange).
+
+Reads pick one replica per block -- the local one when present, else
+seeded-random -- and overlap the replica's disk read with the network
+transfer, approximating streaming.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Generator, List, Optional
+
+from repro.errors import BlockMissingError, DfsError
+from repro.hdfs.block import BlockLocations
+from repro.hdfs.config import DfsConfig
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Switch
+from repro.sim.node import Node
+from repro.storage.payload import ContentFactory, Payload
+
+
+class DfsClient:
+    """A client bound to one node of the cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        namenode: NameNode,
+        switch: Switch,
+        factory: ContentFactory,
+        accumulate_writes: bool = True,
+        use_writer_lock: bool = False,
+        prefer_local_read: bool = False,
+        seed: int = 0xC11E,
+    ) -> None:
+        # prefer_local_read defaults off: the paper's read benchmarks
+        # observe a 50/50 replica choice (tasks are not data-local in
+        # TestDFSIO's read phase), which is what produces Fig. 10's
+        # nonzero read network traffic.
+        self.sim = sim
+        self.node = node
+        self.namenode = namenode
+        self.switch = switch
+        self.factory = factory
+        self.config = namenode.config
+        self.accumulate_writes = accumulate_writes
+        self.use_writer_lock = use_writer_lock
+        self.prefer_local_read = prefer_local_read
+        # Stable per-node seed (str.__hash__ is randomized per process).
+        self._rng = random.Random(seed ^ zlib.crc32(node.name.encode()))
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def write_file(self, path: str, nbytes: int) -> Generator:
+        """Create ``path`` and write ``nbytes`` of generated data."""
+        if nbytes <= 0:
+            raise DfsError("refusing to write an empty file")
+        self.namenode.create_file(path)
+        remaining = nbytes
+        while remaining > 0:
+            size = min(self.config.block_size, remaining)
+            locations = self.namenode.allocate_block(path, size, writer=self.node.name)
+            yield from self.write_block(locations)
+            remaining -= size
+        return None
+
+    def rewrite_file(self, path: str) -> Generator:
+        """Overwrite every block of an existing file in place.
+
+        Used by the update-oriented workloads: block identities, placement
+        and superchunk slots stay fixed; only the content version bumps,
+        which on RAIDP forces the read-modify-write parity path.
+        """
+        for block in self.namenode.file_blocks(path):
+            locations = self.namenode.locate_block(block.block_id)
+            locations.version += 1
+            yield from self.write_block(locations)
+        return None
+
+    def update_file_range(self, path: str, offset: int, nbytes: int) -> Generator:
+        """Rewrite ``[offset, offset + nbytes)`` of ``path`` in place.
+
+        An extension over stock HDFS (paper §8): supported only when the
+        DataNodes implement a sub-block update path (RAIDP's do).  The
+        update is applied per overlapping block on both replicas, with
+        the usual journal acknowledgment; tiny control traffic aside, the
+        network moves nothing -- the point of local parity.
+        """
+        if nbytes <= 0:
+            raise DfsError("empty update range")
+        end = offset + nbytes
+        file_size = self.namenode.file_size(path)
+        if end > file_size:
+            raise DfsError(f"update past EOF of {path}: {end} > {file_size}")
+        cursor = 0
+        for block in self.namenode.file_blocks(path):
+            block_start, block_end = cursor, cursor + block.size
+            cursor = block_end
+            lo, hi = max(offset, block_start), min(end, block_end)
+            if lo >= hi:
+                continue
+            locations = self.namenode.locate_block(block.block_id)
+            locations.version += 1
+            targets = [self.namenode.datanode(n) for n in locations.datanodes]
+            updates = [
+                self.sim.process(
+                    dn.update_block_range(locations, lo - block_start, hi - lo),
+                    name=f"update:{block.name}@{dn.name}",
+                )
+                for dn in targets
+            ]
+            yield self.sim.all_of(updates)
+        return None
+
+    def write_block(self, locations: BlockLocations) -> Generator:
+        """Drive one block through the replica pipeline."""
+        block = locations.block
+        payload = self.factory.make(block.name, locations.version, block.size)
+        targets = [self.namenode.datanode(n) for n in locations.datanodes]
+        if not targets:
+            raise DfsError(f"block {block.name} has no targets")
+
+        # Cut-through pipeline: one full-block flow per inter-node hop.
+        inbound: List[Optional[Event]] = []
+        upstream = self.node
+        for datanode in targets:
+            if datanode.node is upstream:
+                inbound.append(None)  # local hop: no network transfer
+            else:
+                inbound.append(
+                    self.switch.transfer(
+                        upstream.primary_nic, datanode.node.primary_nic, block.size
+                    )
+                )
+            upstream = datanode.node
+
+        writes = [
+            self.sim.process(
+                datanode.write_block(
+                    locations,
+                    payload,
+                    inbound=arrival,
+                    accumulate=self.accumulate_writes,
+                    use_writer_lock=self.use_writer_lock,
+                ),
+                name=f"write:{block.name}@{datanode.name}",
+            )
+            for datanode, arrival in zip(targets, inbound)
+        ]
+        yield self.sim.all_of(writes)
+        yield from self.post_block_hook(locations, targets)
+        return None
+
+    def post_block_hook(
+        self, locations: BlockLocations, targets: List[DataNode]
+    ) -> Generator:
+        """Overridable: runs after all replicas of a block are durable."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def read_file(self, path: str, prefer_local: Optional[bool] = None) -> Generator:
+        """Read every block of ``path``; returns total bytes read.
+
+        ``prefer_local`` overrides the client's replica-choice policy for
+        this call (map tasks scheduled data-local pass True).
+        """
+        total = 0
+        for block in self.namenode.file_blocks(path):
+            locations = self.namenode.locate_block(block.block_id)
+            yield from self.read_block(locations, prefer_local=prefer_local)
+            total += block.size
+        return total
+
+    def read_block(
+        self, locations: BlockLocations, prefer_local: Optional[bool] = None
+    ) -> Generator:
+        """Read one block from a chosen replica; returns its payload."""
+        datanode = self._choose_replica(locations, prefer_local=prefer_local)
+        reader = self.sim.process(
+            datanode.read_block(locations),
+            name=f"read:{locations.block.name}@{datanode.name}",
+        )
+        if datanode.node is self.node:
+            payload = yield reader
+        else:
+            # Overlap the replica's disk read with the network transfer.
+            flow = self.switch.transfer(
+                datanode.node.primary_nic,
+                self.node.primary_nic,
+                locations.block.size,
+            )
+            results = yield self.sim.all_of([reader, flow])
+            payload = results[0]
+        return payload
+
+    def _choose_replica(
+        self, locations: BlockLocations, prefer_local: Optional[bool] = None
+    ) -> DataNode:
+        live = [
+            self.namenode.datanode(name)
+            for name in locations.datanodes
+            if self.namenode.datanode(name).alive
+        ]
+        if not live:
+            raise BlockMissingError(
+                f"no live replica of block {locations.block.name}"
+            )
+        local_first = (
+            self.prefer_local_read if prefer_local is None else prefer_local
+        )
+        if local_first:
+            for datanode in live:
+                if datanode.node is self.node:
+                    return datanode
+        return self._rng.choice(live)
+
+    # ------------------------------------------------------------------
+    # Deletion (lazy, as in HDFS).
+    # ------------------------------------------------------------------
+    def delete_file(self, path: str) -> Generator:
+        """Remove a file; replicas are dropped without charging disk time
+        (HDFS purges lazily, and RAIDP defers parity work to idle times --
+        paper §5)."""
+        records = self.namenode.delete_file(path)
+        for locations in records:
+            for name in locations.datanodes:
+                self.namenode.datanode(name).delete_block(locations)
+        return None
+        yield  # pragma: no cover - makes this a generator

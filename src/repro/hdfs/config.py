@@ -1,0 +1,45 @@
+"""Configuration knobs for the DFS substrate.
+
+Defaults follow the paper's evaluation setup: Hadoop 1.0.4 defaults with
+64 MB blocks, 64 KB network packets, and a sync when a block write
+concludes (which the paper adds to both RAIDP and the HDFS baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class DfsConfig:
+    """DFS-wide settings shared by the NameNode, DataNodes, and clients."""
+
+    block_size: int = 64 * units.MiB
+    packet_size: int = 64 * units.KiB
+    replication: int = 3
+    #: Sync the disk when a block write concludes (the paper adds this to
+    #: both systems for a fair comparison; stock HDFS 1.0.4 lacked it).
+    sync_on_block_close: bool = True
+    #: Tasks per node for the MapReduce-style workloads (Hadoop default).
+    tasks_per_node: int = 2
+    #: Size of the tiny control messages (journal acks, RPC).
+    ack_size: int = 1 * units.KiB
+    #: Per-replica stream-processing rate: packet handling plus CRC32
+    #: checksum computation/verification in the DataNode (JVM-era HDFS
+    #: moves data well below NIC speed).  Charged per block on the write
+    #: and read paths; 0 disables.
+    pipeline_process_rate: float = 800 * units.MB
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0 or self.packet_size <= 0:
+            raise ValueError("sizes must be positive")
+        if self.block_size % self.packet_size != 0:
+            raise ValueError("block size must be a multiple of packet size")
+        if self.replication < 1:
+            raise ValueError("replication must be at least 1")
+
+    @property
+    def packets_per_block(self) -> int:
+        return self.block_size // self.packet_size

@@ -1,0 +1,259 @@
+"""DataNode: block storage and the packet/accumulated write paths.
+
+A DataNode owns one simulated server node (and its primary disk), an
+extent-allocating local filesystem, and an in-memory content store of
+block payloads (real bytes or symbolic tokens, see :mod:`repro.storage`).
+
+Write paths (paper §5 and §6.1):
+
+- **streamed** (stock HDFS): packets are written to disk as they arrive.
+  The local filesystem's extent allocator serializes concurrent writers,
+  so the disk streams sequentially; packets are batched into ``io_batch``
+  sized disk I/Os (pure event-count reduction -- the allocation pattern,
+  and thus fragmentation and seeks, is preserved at batch granularity).
+- **accumulated** (RAIDP optimized, also available to HDFS): the whole
+  block is buffered in RAM and written in one I/O, optionally under the
+  node-wide writer lock that stops concurrent writers from ping-ponging
+  the head between superchunks.
+
+Subclasses (RAIDP's DataNode in :mod:`repro.core.node`) override the
+block-file creation and the write hooks to add superchunk placement,
+parity maintenance, and journaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro import units
+from repro.errors import BlockMissingError, DfsError
+from repro.hdfs.block import Block, BlockLocations
+from repro.hdfs.config import DfsConfig
+from repro.hdfs.localfs import LocalFs
+from repro.sim.engine import Event, Simulator
+from repro.sim.node import Node
+from repro.sim.resources import Lock
+from repro.storage.payload import ContentFactory, Payload
+
+
+class DataNode:
+    """One storage server in the DFS."""
+
+    #: Disk I/O granularity for the streamed write path: the page cache
+    #: coalesces 64 KB packets into writeback-sized runs before they hit
+    #: the disk (also keeps the simulated event count sane).
+    DEFAULT_IO_BATCH = 16 * units.MiB
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        config: DfsConfig,
+        factory: ContentFactory,
+        fs_policy: str = "extent",
+        io_batch: Optional[int] = None,
+        disk=None,
+        name: Optional[str] = None,
+    ) -> None:
+        """``disk``/``name`` support multi-disk servers: one DataNode per
+        disk, all sharing the server's node (CPU, NICs)."""
+        self.sim = sim
+        self.node = node
+        self.config = config
+        self.factory = factory
+        self._disk = disk if disk is not None else node.primary_disk
+        self._name = name if name is not None else node.name
+        self.fs = LocalFs(sim, self._disk, policy=fs_policy)
+        self.io_batch = io_batch or self.DEFAULT_IO_BATCH
+        self.writer_lock = Lock(sim, name=f"{self._name}.writer")
+        self._contents: Dict[str, Payload] = {}
+        self._versions: Dict[str, int] = {}
+        # Checksum records (HDFS keeps a CRC file beside every block);
+        # updated on store, *not* by media decay -- the scrubber's anchor.
+        self._checksums: Dict[str, int] = {}
+        self.alive = True
+        self.stats_blocks_written = 0
+        self.stats_blocks_read = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def disk(self):
+        return self._disk
+
+    # ------------------------------------------------------------------
+    # Content store (the data plane).
+    # ------------------------------------------------------------------
+    def store_content(self, block_name: str, payload: Payload, version: int) -> None:
+        self._contents[block_name] = payload
+        self._versions[block_name] = version
+        self._checksums[block_name] = hash(payload)
+
+    def content_checksum_ok(self, block_name: str) -> bool:
+        """Does the stored content still match its checksum record?"""
+        expected = self._checksums.get(block_name)
+        if expected is None:
+            return False
+        return hash(self.content_of(block_name)) == expected
+
+    def content_of(self, block_name: str) -> Payload:
+        try:
+            return self._contents[block_name]
+        except KeyError:
+            raise BlockMissingError(
+                f"{self.name} holds no content for {block_name}"
+            ) from None
+
+    def version_of(self, block_name: str) -> int:
+        return self._versions.get(block_name, 0)
+
+    def has_block(self, block_name: str) -> bool:
+        return block_name in self._contents
+
+    def block_report(self) -> List[str]:
+        """All DFS block names this replica actually holds (sorted)."""
+        return sorted(self._contents)
+
+    def drop_content(self, block_name: str) -> None:
+        self._contents.pop(block_name, None)
+        self._versions.pop(block_name, None)
+        self._checksums.pop(block_name, None)
+
+    # ------------------------------------------------------------------
+    # Block file lifecycle hooks (overridden by RAIDP).
+    # ------------------------------------------------------------------
+    def create_block_file(self, locations: BlockLocations) -> None:
+        """Create the local file that will hold the block."""
+        name = locations.block.name
+        if not self.fs.exists(name):
+            self.fs.create(name)
+
+    def delete_block(self, locations: BlockLocations) -> None:
+        """Remove a replica (metadata + local file)."""
+        name = locations.block.name
+        self.drop_content(name)
+        if self.fs.exists(name):
+            self.fs.delete(name)
+
+    # ------------------------------------------------------------------
+    # Write paths (process bodies).
+    # ------------------------------------------------------------------
+    def write_block(
+        self,
+        locations: BlockLocations,
+        payload: Payload,
+        inbound: Optional[Event] = None,
+        accumulate: bool = True,
+        use_writer_lock: bool = False,
+    ) -> Generator:
+        """Receive and persist one block replica.
+
+        ``inbound`` is the network-arrival event (None for a local
+        write).  With ``accumulate`` the block is buffered and written in
+        one I/O once fully received; otherwise packets are streamed to
+        disk as they arrive (batched into ``io_batch`` I/Os).
+        """
+        if not self.alive:
+            raise DfsError(f"write to dead datanode {self.name}")
+        self.create_block_file(locations)
+        if accumulate:
+            if inbound is not None:
+                yield inbound
+            # Packet handling and checksum work happens while the block
+            # accumulates in RAM -- before the writer lock, so it
+            # overlaps other writers' disk I/O.
+            yield from self._process_stream(locations.block.size)
+            # Admission runs *before* the writer lock: a subclass may
+            # block here on resources whose release depends on remote
+            # progress (RAIDP's journal space), and holding the writer
+            # lock across such a wait can deadlock two mirrors.
+            yield from self.admit_block(locations)
+            grant = (yield self.writer_lock.request()) if use_writer_lock else None
+            try:
+                yield from self._commit_block(locations, payload)
+            finally:
+                if grant is not None:
+                    self.writer_lock.release(grant)
+        else:
+            yield from self._stream_block(locations, payload, inbound)
+        self.stats_blocks_written += 1
+        return None
+
+    def admit_block(self, locations: BlockLocations) -> Generator:
+        """Hook: gate a block write on subclass-specific resources."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _process_stream(self, nbytes: int) -> Generator:
+        """Per-replica packet handling + checksum charge (see DfsConfig)."""
+        rate = self.config.pipeline_process_rate
+        if rate > 0:
+            yield self.sim.timeout(nbytes / rate)
+        return None
+
+    def _commit_block(self, locations: BlockLocations, payload: Payload) -> Generator:
+        """One-shot write of a fully buffered block (hookable)."""
+        block = locations.block
+        yield from self.fs.write(block.name, 0, block.size)
+        if self.config.sync_on_block_close:
+            yield from self.fs.sync()
+        self.store_content(block.name, payload, locations.version)
+        return None
+
+    def _stream_block(
+        self,
+        locations: BlockLocations,
+        payload: Payload,
+        inbound: Optional[Event],
+    ) -> Generator:
+        """Packet-streamed write (hookable)."""
+        block = locations.block
+        offset = 0
+        while offset < block.size:
+            run = min(self.io_batch, block.size - offset)
+            yield from self._process_stream(run)
+            yield from self.fs.write(block.name, offset, run)
+            offset += run
+        if inbound is not None:
+            yield inbound
+        if self.config.sync_on_block_close:
+            yield from self.fs.sync()
+        self.store_content(block.name, payload, locations.version)
+        return None
+
+    # ------------------------------------------------------------------
+    # In-place updates (paper §8 future work; RAIDP-only).
+    # ------------------------------------------------------------------
+    def update_block_range(
+        self, locations: BlockLocations, block_offset: int, nbytes: int
+    ) -> Generator:
+        """Rewrite a byte range of an existing block in place.
+
+        Stock HDFS is append-only (paper §5): updating means deleting
+        the file and rewriting it.  Only the RAIDP DataNode overrides
+        this with a real sub-block read-modify-write path.
+        """
+        raise DfsError(
+            f"{self.name}: HDFS blocks are append-only; delete and rewrite "
+            "(in-place updates are a RAIDP extension)"
+        )
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Read path.
+    # ------------------------------------------------------------------
+    def read_block(self, locations: BlockLocations) -> Generator:
+        """Read a replica from disk; returns its payload."""
+        if not self.alive:
+            raise DfsError(f"read from dead datanode {self.name}")
+        block = locations.block
+        payload = self.content_of(block.name)
+        yield from self.fs.read(block.name, 0, block.size)
+        yield from self._process_stream(block.size)  # checksum verification
+        self.stats_blocks_read += 1
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DataNode {self.name} blocks={len(self._contents)}>"

@@ -1,0 +1,244 @@
+"""NameNode: namespace, block map, placement, and failure bookkeeping.
+
+The NameNode is pure metadata -- it never touches simulated time.  All
+data-plane work (packet pipelines, disk I/O) happens in the DataNodes and
+clients; the NameNode answers allocation and lookup RPCs synchronously,
+matching HDFS's in-memory namespace design.
+
+Placement is a strategy object so RAIDP can substitute its
+pair-with-a-common-superchunk policy (paper §5) without touching the
+NameNode itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import (
+    DfsError,
+    FileExistsInDfsError,
+    FileNotFoundInDfsError,
+    PlacementError,
+)
+from repro.hdfs.block import Block, BlockLocations
+from repro.hdfs.config import DfsConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hdfs.datanode import DataNode
+
+
+class PlacementPolicy:
+    """Chooses the replica set for a new block."""
+
+    def choose_targets(
+        self,
+        block: Block,
+        writer: Optional[str],
+        datanodes: Sequence["DataNode"],
+    ) -> BlockLocations:
+        raise NotImplementedError
+
+
+class ReplicationPlacement(PlacementPolicy):
+    """Stock HDFS-style placement: writer-local first, then load-balanced
+    random peers.
+
+    HDFS balances replicas by remaining space; we approximate with the
+    replica count already placed on each node, breaking ties with a
+    seeded shuffle.  Deterministic given the seed, as everything in the
+    reproduction must be.  (The residual imbalance relative to RAIDP's
+    superchunk-slot placement is what makes RAIDP's "only superchunks"
+    bar marginally beat HDFS-2 in Fig. 8.)
+    """
+
+    def __init__(self, replication: int, seed: int = 0xDA7A) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.replication = replication
+        self._rng = random.Random(seed)
+        self._placed: dict = {}
+
+    def choose_targets(
+        self,
+        block: Block,
+        writer: Optional[str],
+        datanodes: Sequence["DataNode"],
+    ) -> BlockLocations:
+        alive = [dn for dn in datanodes if dn.alive]
+        if len(alive) < self.replication:
+            raise PlacementError(
+                f"need {self.replication} live datanodes, have {len(alive)}"
+            )
+        chosen: List[str] = []
+        by_name = {dn.name: dn for dn in alive}
+        if writer is not None and writer in by_name:
+            chosen.append(writer)
+        remaining = [dn.name for dn in alive if dn.name not in chosen]
+        self._rng.shuffle(remaining)  # random tie-break, then least-loaded
+        remaining.sort(key=lambda name: self._placed.get(name, 0))
+        # HDFS picks randomly among under-loaded candidates rather than
+        # strictly least-loaded, leaving the marginal imbalance the paper
+        # observes; sample from the bottom three quarters.
+        pool_size = max(3 * len(remaining) // 4, self.replication)
+        pool = remaining[:pool_size]
+        self._rng.shuffle(pool)
+        chosen.extend(pool[: self.replication - len(chosen)])
+        for name in chosen:
+            self._placed[name] = self._placed.get(name, 0) + 1
+        return BlockLocations(block=block, datanodes=chosen)
+
+
+class NameNode:
+    """The metadata master: files, blocks, locations, liveness."""
+
+    def __init__(self, config: DfsConfig, placement: PlacementPolicy) -> None:
+        self.config = config
+        self.placement = placement
+        self._datanodes: Dict[str, "DataNode"] = {}
+        self._files: Dict[str, List[Block]] = {}
+        self._blocks: Dict[int, BlockLocations] = {}
+        self._next_block_id = 0
+
+    # ------------------------------------------------------------------
+    # Cluster membership.
+    # ------------------------------------------------------------------
+    def register_datanode(self, datanode: "DataNode") -> None:
+        if datanode.name in self._datanodes:
+            raise DfsError(f"datanode {datanode.name} registered twice")
+        self._datanodes[datanode.name] = datanode
+
+    def datanode(self, name: str) -> "DataNode":
+        try:
+            return self._datanodes[name]
+        except KeyError:
+            raise DfsError(f"unknown datanode {name}") from None
+
+    @property
+    def datanodes(self) -> List["DataNode"]:
+        return list(self._datanodes.values())
+
+    def live_datanodes(self) -> List["DataNode"]:
+        return [dn for dn in self._datanodes.values() if dn.alive]
+
+    # ------------------------------------------------------------------
+    # Namespace.
+    # ------------------------------------------------------------------
+    def create_file(self, path: str) -> None:
+        if path in self._files:
+            raise FileExistsInDfsError(path)
+        self._files[path] = []
+
+    def file_exists(self, path: str) -> bool:
+        return path in self._files
+
+    def file_blocks(self, path: str) -> List[Block]:
+        try:
+            return list(self._files[path])
+        except KeyError:
+            raise FileNotFoundInDfsError(path) from None
+
+    def file_size(self, path: str) -> int:
+        return sum(b.size for b in self.file_blocks(path))
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    def delete_file(self, path: str) -> List[BlockLocations]:
+        """Drop a file; returns the location records of its ex-blocks.
+
+        The caller (client) is responsible for telling the datanodes to
+        delete the replicas -- matching HDFS, where deletion is lazy.
+        """
+        blocks = self.file_blocks(path)
+        del self._files[path]
+        records = []
+        for block in blocks:
+            records.append(self._blocks.pop(block.block_id))
+        return records
+
+    # ------------------------------------------------------------------
+    # Block allocation and lookup.
+    # ------------------------------------------------------------------
+    def allocate_block(
+        self, path: str, size: int, writer: Optional[str] = None
+    ) -> BlockLocations:
+        if path not in self._files:
+            raise FileNotFoundInDfsError(path)
+        if size <= 0 or size > self.config.block_size:
+            raise DfsError(f"bad block size {size}")
+        block = Block(
+            block_id=self._next_block_id,
+            path=path,
+            index=len(self._files[path]),
+            size=size,
+        )
+        self._next_block_id += 1
+        locations = self.placement.choose_targets(
+            block, writer, list(self._datanodes.values())
+        )
+        self._files[path].append(block)
+        self._blocks[block.block_id] = locations
+        return locations
+
+    def locate_block(self, block_id: int) -> BlockLocations:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise DfsError(f"unknown block {block_id}") from None
+
+    def all_blocks(self) -> List[BlockLocations]:
+        return list(self._blocks.values())
+
+    # ------------------------------------------------------------------
+    # Failure bookkeeping.
+    # ------------------------------------------------------------------
+    def mark_datanode_dead(self, name: str) -> List[BlockLocations]:
+        """Record a datanode loss; returns the now-under-replicated blocks."""
+        datanode = self.datanode(name)
+        datanode.alive = False
+        affected = []
+        for locations in self._blocks.values():
+            if name in locations.datanodes:
+                locations.remove_datanode(name)
+                affected.append(locations)
+        return affected
+
+    def under_replicated(self) -> List[BlockLocations]:
+        return [
+            loc
+            for loc in self._blocks.values()
+            if loc.replica_count < self.config.replication
+        ]
+
+    def lost_blocks(self) -> List[BlockLocations]:
+        """Blocks with zero live replicas (recoverable only via Lstors)."""
+        return [loc for loc in self._blocks.values() if loc.replica_count == 0]
+
+    # ------------------------------------------------------------------
+    # Block reports (HDFS's metadata anti-entropy).
+    # ------------------------------------------------------------------
+    def process_block_report(self, datanode_name: str, held: Iterable[str]):
+        """Reconcile one DataNode's actual holdings with the block map.
+
+        HDFS DataNodes periodically report every block they store.
+        Blocks the NameNode *expected* there but that are gone (a wiped
+        disk, partial crash) are dropped from the node's locations --
+        surfacing under-replication for the recovery machinery.  Blocks
+        the node holds that the namespace no longer references (deleted
+        files, aborted writes) are returned as *orphans* for the node to
+        purge.  Returns ``(missing, orphans)`` as block-name lists.
+        """
+        datanode = self.datanode(datanode_name)
+        held_set = set(held)
+        missing: List[str] = []
+        expected: set = set()
+        for locations in self._blocks.values():
+            if datanode_name not in locations.datanodes:
+                continue
+            expected.add(locations.block.name)
+            if locations.block.name not in held_set:
+                locations.remove_datanode(datanode_name)
+                missing.append(locations.block.name)
+        orphans = sorted(held_set - expected)
+        return sorted(missing), orphans

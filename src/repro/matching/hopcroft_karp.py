@@ -1,0 +1,69 @@
+"""Hopcroft-Karp maximum bipartite matching in O(E * sqrt(V)).
+
+The input is an adjacency mapping from left vertices to iterables of right
+vertices; vertices may be any hashable objects.  The output maps matched
+left vertices to their right partners.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    graph: Mapping[Hashable, Iterable[Hashable]],
+) -> Dict[Hashable, Hashable]:
+    """Return a maximum matching as a left-vertex -> right-vertex dict."""
+    adjacency: Dict[Hashable, List[Hashable]] = {
+        left: list(rights) for left, rights in graph.items()
+    }
+    match_left: Dict[Hashable, Optional[Hashable]] = {l: None for l in adjacency}
+    match_right: Dict[Hashable, Optional[Hashable]] = {}
+    for rights in adjacency.values():
+        for right in rights:
+            match_right.setdefault(right, None)
+
+    distance: Dict[Hashable, float] = {}
+
+    def bfs() -> bool:
+        """Layer the graph from free left vertices; True if an augmenting
+        path exists."""
+        queue = deque()
+        for left in adjacency:
+            if match_left[left] is None:
+                distance[left] = 0
+                queue.append(left)
+            else:
+                distance[left] = _INF
+        found_free_right = False
+        while queue:
+            left = queue.popleft()
+            for right in adjacency[left]:
+                nxt = match_right[right]
+                if nxt is None:
+                    found_free_right = True
+                elif distance[nxt] == _INF:
+                    distance[nxt] = distance[left] + 1
+                    queue.append(nxt)
+        return found_free_right
+
+    def dfs(left: Hashable) -> bool:
+        """Find an augmenting path from ``left`` along the BFS layers."""
+        for right in adjacency[left]:
+            nxt = match_right[right]
+            if nxt is None or (distance[nxt] == distance[left] + 1 and dfs(nxt)):
+                match_left[left] = right
+                match_right[right] = left
+                return True
+        distance[left] = _INF
+        return False
+
+    while bfs():
+        for left in adjacency:
+            if match_left[left] is None:
+                dfs(left)
+
+    return {l: r for l, r in match_left.items() if r is not None}

@@ -1,0 +1,293 @@
+"""Mechanical hard-drive timing model with failure injection.
+
+The drive is modeled at the level that matters for the paper's results:
+positioning cost (seek + rotational latency) versus streaming transfer.
+The paper's cluster uses 7200 RPM 2 TB SATA drives; the default geometry
+matches that class of device.
+
+An I/O that starts exactly where the head currently rests is *sequential*
+and pays only transfer time.  Any other I/O pays a seek whose duration
+grows with the square root of the byte distance travelled (the standard
+first-order approximation of arm movement) plus half a rotation of
+latency.  The disk serializes I/O through a FIFO :class:`Resource`, so
+concurrent writers naturally interleave and "ping-pong" the head exactly
+as described in the paper's Section 5.
+
+Data content is *not* stored here -- the disk is pure timing.  Byte
+payloads live in :mod:`repro.storage` stores owned by the DataNode layer,
+which keeps functional correctness (real XOR parity, bit-exact recovery)
+separate from timing fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro import units
+from repro.errors import DiskFailedError
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import ElevatorResource, Resource
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Timing parameters of a spinning drive.
+
+    Defaults approximate a 7200 RPM 2 TB SATA drive of the paper's era:
+    ~0.5 ms minimum (track-to-track) seek, ~8.5 ms average seek, ~16 ms
+    full-stroke seek, 4.17 ms average rotational latency (half of a
+    7200 RPM revolution), and ~140 MB/s sustained media rate.
+    """
+
+    capacity: int = 2 * units.TB
+    seek_min: float = 0.5 * units.MSEC
+    seek_avg: float = 8.5 * units.MSEC
+    seek_full: float = 16.0 * units.MSEC
+    rotational_latency: float = 4.17 * units.MSEC
+    transfer_rate: float = 140 * units.MB  # bytes/second
+    # I/Os within this distance of the head are treated as near-sequential
+    # (settle only, no rotational loss): models track-buffer readahead and
+    # the paper's "write scheduled immediately after its related read"
+    # reduced-rotational-delay case.
+    near_threshold: int = 2 * units.MiB
+
+    def seek_time(self, distance: int) -> float:
+        """Seek duration for a head movement of ``distance`` bytes."""
+        if distance <= 0:
+            return 0.0
+        if distance <= self.near_threshold:
+            return self.seek_min
+        # Square-root interpolation between the average seek (at 1/3 of a
+        # full stroke, the expected random-seek distance) and the full
+        # stroke, anchored at the minimum seek for short hops.
+        frac = min(distance / self.capacity, 1.0)
+        span = self.seek_full - self.seek_min
+        return self.seek_min + span * math.sqrt(frac)
+
+    def transfer_time(self, nbytes: int) -> float:
+        return nbytes / self.transfer_rate
+
+
+def ssd_geometry(
+    capacity: int = 2 * units.TB, transfer_rate: float = 520 * units.MB
+) -> DiskGeometry:
+    """A SATA-SSD-class geometry (paper §8's media what-if).
+
+    No mechanical positioning: "seeks" collapse to a ~60 us command
+    latency and there is no rotational delay, so random I/O costs almost
+    the same as sequential -- which is exactly why the paper expects
+    RAIDP's random-I/O penalties to shrink on flash.
+    """
+    return DiskGeometry(
+        capacity=capacity,
+        seek_min=60 * units.USEC,
+        seek_avg=60 * units.USEC,
+        seek_full=60 * units.USEC,
+        rotational_latency=0.0,
+        transfer_rate=transfer_rate,
+        near_threshold=0,
+    )
+
+
+@dataclass
+class DiskStats:
+    """Cumulative I/O accounting for one disk."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    seek_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    syncs: int = 0
+
+    @property
+    def ios(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(
+            reads=self.reads,
+            writes=self.writes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            seeks=self.seeks,
+            seek_seconds=self.seek_seconds,
+            busy_seconds=self.busy_seconds,
+            syncs=self.syncs,
+        )
+
+
+class Disk:
+    """One simulated drive: a head position, a FIFO queue, and stats."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: Optional[DiskGeometry] = None,
+        name: str = "disk",
+        scheduler: str = "fifo",
+    ) -> None:
+        if scheduler not in ("fifo", "elevator"):
+            raise ValueError(f"unknown disk scheduler {scheduler!r}")
+        self.sim = sim
+        self.geometry = geometry or DiskGeometry()
+        self.name = name
+        self.scheduler = scheduler
+        self.head = 0  # byte offset the head currently rests at
+        self.failed = False
+        self.stats = DiskStats()
+        if scheduler == "elevator":
+            self._queue = ElevatorResource(sim, name=f"{name}.queue")
+        else:
+            self._queue = Resource(sim, capacity=1, name=f"{name}.queue")
+
+    def _enqueue(self, offset: int) -> Event:
+        """Queue an I/O; the elevator orders waiters by target offset."""
+        if self.scheduler == "elevator":
+            return self._queue.request(offset)
+        return self._queue.request()
+
+    # ------------------------------------------------------------------
+    # Failure injection.
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the disk failed; all subsequent I/O raises."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring a (replaced) disk back; its content is gone, head at 0."""
+        self.failed = False
+        self.head = 0
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise DiskFailedError(f"I/O on failed disk {self.name}")
+
+    # ------------------------------------------------------------------
+    # I/O.  These are process bodies: drive them with ``yield from``.
+    # ------------------------------------------------------------------
+    def read(self, offset: int, nbytes: int) -> Generator:
+        """Read ``nbytes`` at ``offset``; returns the I/O duration."""
+        return self._io("read", offset, nbytes)
+
+    def write(self, offset: int, nbytes: int) -> Generator:
+        """Write ``nbytes`` at ``offset``; returns the I/O duration."""
+        return self._io("write", offset, nbytes)
+
+    def sync(self) -> Generator:
+        """Flush the write cache: a cache-flush barrier.
+
+        Costs a settle plus half a rotation -- the media must commit the
+        in-flight sectors before the barrier completes, which is why
+        sync-per-packet workloads collapse (paper Fig. 8, unoptimized).
+        """
+        self._check_alive()
+        grant = yield self._enqueue(self.head)
+        try:
+            self._check_alive()
+            delay = self.geometry.seek_min + self.geometry.rotational_latency
+            yield self.sim.timeout(delay)
+            self.stats.syncs += 1
+            self.stats.busy_seconds += delay
+        finally:
+            self._queue.release(grant)
+        return None
+
+    def read_modify_write(
+        self, offset: int, nbytes: int, read_bytes: Optional[int] = None
+    ) -> Generator:
+        """Read a region and immediately rewrite it, atomically queued.
+
+        Models the paper's §3.2 scheduling: the write is issued right
+        after its related read with no intervening I/O, so the rewrite
+        pays only a short settle instead of a full seek + rotation.
+        ``read_bytes`` (default: all of ``nbytes``) is how much of the
+        old data actually reaches the media -- the rest is served from
+        cache.  Returns the combined duration.
+        """
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.geometry.capacity:
+            raise ValueError(
+                f"rmw outside disk {self.name}: offset={offset} nbytes={nbytes}"
+            )
+        if read_bytes is None:
+            read_bytes = nbytes
+        if not 0 <= read_bytes <= nbytes:
+            raise ValueError(f"read_bytes {read_bytes} outside [0, {nbytes}]")
+        self._check_alive()
+        grant = yield self._enqueue(offset)
+        try:
+            self._check_alive()
+            duration = self._charge("read", offset, read_bytes)
+            # Rewrite of the just-read region: reduced rotational delay.
+            settle = self.geometry.seek_min + self.geometry.rotational_latency / 2
+            duration += settle + self.geometry.transfer_time(nbytes)
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+            self.stats.busy_seconds += settle + self.geometry.transfer_time(nbytes)
+            self.head = offset + nbytes
+            yield self.sim.timeout(duration)
+            self._check_alive()
+        finally:
+            self._queue.release(grant)
+        return duration
+
+    def _io(self, kind: str, offset: int, nbytes: int) -> Generator:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.geometry.capacity:
+            raise ValueError(
+                f"{kind} outside disk {self.name}: offset={offset} nbytes={nbytes}"
+            )
+        self._check_alive()
+        grant = yield self._enqueue(offset)
+        try:
+            self._check_alive()
+            duration = self._charge(kind, offset, nbytes)
+            yield self.sim.timeout(duration)
+            self._check_alive()
+        finally:
+            self._queue.release(grant)
+        return duration
+
+    def _charge(self, kind: str, offset: int, nbytes: int) -> float:
+        """Compute the I/O duration and update head position and stats."""
+        geometry = self.geometry
+        distance = abs(offset - self.head)
+        duration = geometry.transfer_time(nbytes)
+        if distance != 0:
+            seek = geometry.seek_time(distance)
+            if distance > geometry.near_threshold:
+                seek += geometry.rotational_latency
+            duration += seek
+            self.stats.seeks += 1
+            self.stats.seek_seconds += seek
+        self.head = offset + nbytes
+        if kind == "read":
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+        else:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        self.stats.busy_seconds += duration
+        return duration
+
+    def estimate(self, offset: int, nbytes: int) -> float:
+        """Duration the next I/O *would* take, without performing it."""
+        geometry = self.geometry
+        distance = abs(offset - self.head)
+        duration = geometry.transfer_time(nbytes)
+        if distance != 0:
+            duration += geometry.seek_time(distance)
+            if distance > geometry.near_threshold:
+                duration += geometry.rotational_latency
+        return duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "FAILED" if self.failed else "ok"
+        return f"<Disk {self.name} {state} head={self.head} ios={self.stats.ios}>"

@@ -1,0 +1,358 @@
+"""Minimal deterministic discrete-event simulation kernel.
+
+The kernel follows the familiar process-interaction style: a *process* is a
+Python generator that ``yield``\\ s :class:`Event` objects; the simulator
+resumes the generator when the yielded event fires.  Determinism is a hard
+requirement (experiment results must be reproducible bit-for-bit), so ties
+in the event heap are broken by a monotonically increasing sequence number
+and no wall-clock or global randomness is consulted anywhere.
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim, results):
+        yield sim.timeout(1.5)
+        results.append(sim.now)
+
+    results = []
+    sim.process(worker(sim, results))
+    sim.run()
+    assert results == [1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+# A process body: a generator that yields Events and may return a value.
+ProcessBody = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, and then delivers its value (or raises
+    its exception) in every process that yielded it.  Callbacks attached
+    after triggering run on the next :meth:`Simulator.step`.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_exception", "triggered", "_scheduled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.triggered = False
+        self._scheduled = False
+
+    @property
+    def ok(self) -> bool:
+        """True once the event has triggered successfully."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the event failed or is pending."""
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(None, exception)
+        return self
+
+    def _trigger(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self._value = value
+        self._exception = exception
+        self.sim._schedule_event(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event has been dispatched."""
+        if self._callbacks is None:
+            # Already dispatched: schedule an immediate follow-up event so
+            # the callback still runs inside the simulation loop.
+            follower = Event(self.sim)
+            follower.add_callback(lambda _ev: callback(self))
+            follower.succeed()
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._schedule_event(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator.  As an Event it fires when the body returns."""
+
+    __slots__ = ("body", "name", "_waiting_on", "_had_waiters")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "") -> None:
+        super().__init__(sim)
+        self.body = body
+        self.name = name or getattr(body, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._had_waiters = False
+        # Kick off the body on the next step.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+        sim._live_processes += 1
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        # Remember that somebody waits on this process, so an unhandled
+        # crash inside the body is considered observed (the waiter gets the
+        # exception re-thrown) and run() need not re-raise it.
+        self._had_waiters = True
+        super().add_callback(callback)
+
+    def observed(self) -> bool:
+        """True if some waiter received this process's completion."""
+        return self._had_waiters
+
+    def interrupt(self, reason: str = "interrupted") -> None:
+        """Throw :class:`ProcessInterrupt` into the body at its wait point."""
+        if self.triggered:
+            return
+        wake = Event(self.sim)
+        wake.add_callback(lambda _ev: self._throw(ProcessInterrupt(reason)))
+        wake.succeed()
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self.body.throw(exc)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+        except BaseException as err:  # noqa: BLE001 - propagate into the event
+            self._finish_fail(err)
+        else:
+            self._wait_for(target)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event.exception is not None:
+                target = self.body.throw(event.exception)
+            else:
+                target = self.body.send(event._value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+        except BaseException as err:  # noqa: BLE001 - propagate into the event
+            self._finish_fail(err)
+        else:
+            self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._finish_fail(
+                SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _finish_ok(self, value: Any) -> None:
+        self.sim._live_processes -= 1
+        self.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self.sim._live_processes -= 1
+        # Remember the failure; if nobody waits on this process the
+        # simulator surfaces it at the end of the run instead of silently
+        # swallowing it.
+        self.sim._note_process_failure(self, exc)
+        self.triggered = True
+        self._exception = exc
+        self.sim._schedule_event(self)
+
+
+class ProcessInterrupt(SimulationError):
+    """Raised inside a process body by :meth:`Process.interrupt`."""
+
+
+class AllOf(Event):
+    """Fires when all child events have fired; value is their value list.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(lambda ev, i=index: self._on_child(i, ev))
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+        else:
+            self.succeed((index, child._value))
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event) triples."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live_processes = 0
+        self._failed: List[Tuple[Process, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    # Event construction helpers.
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, body: ProcessBody, name: str = "") -> Process:
+        return Process(self, body, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and the main loop.
+    # ------------------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _note_process_failure(self, process: Process, exc: BaseException) -> None:
+        self._failed.append((process, exc))
+
+    def step(self) -> None:
+        """Advance to and dispatch the next event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        event._dispatch()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the final simulated time.  Raises the first unobserved
+        process failure, and raises :class:`DeadlockError` if processes
+        remain blocked after the heap drains.
+        """
+        from repro.errors import DeadlockError
+
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            self.step()
+        self._raise_orphan_failures()
+        if until is None and self._live_processes > 0 and not self._heap:
+            raise DeadlockError(
+                f"{self._live_processes} process(es) blocked forever at t={self.now}"
+            )
+        return self.now
+
+    def run_process(self, body: ProcessBody, name: str = "") -> Any:
+        """Convenience: spawn ``body``, run to completion, return its value."""
+        proc = self.process(body, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(f"process {proc.name!r} did not finish")
+        return proc.value
+
+    def _raise_orphan_failures(self) -> None:
+        """Re-raise the first process crash that no waiter ever saw."""
+        for process, exc in self._failed:
+            if not process.observed():
+                self._failed.clear()
+                raise exc
+        self._failed.clear()

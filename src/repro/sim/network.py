@@ -1,0 +1,239 @@
+"""Max-min fair-share network model: NICs, flows, and a star switch.
+
+The paper's cluster connects 16 nodes to one switch via both a 10 Gbps and
+a 1 Gbps NIC.  We model the switch backplane as non-blocking, so a flow is
+constrained only by its endpoints: the sender's transmit port and the
+receiver's receive port (NICs are full duplex).  When several flows share
+a port, bandwidth is divided by progressive filling (max-min fairness),
+which is the steady state that per-flow fair queueing / TCP converge to.
+
+Whenever a flow starts or finishes, every active flow's progress is
+banked at its old rate and the allocation is recomputed.  Completion is
+driven by a versioned timer: a stale timer firing after a reallocation is
+simply ignored.  This keeps the event count proportional to the number of
+flow arrivals/departures rather than to bytes transferred.
+
+Per-node accumulated traffic is tracked so experiments can report the
+paper's "accumulated network GB" bars (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+
+@dataclass
+class FlowStats:
+    """Network accounting for one endpoint (node)."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    flows_started: int = 0
+    flows_finished: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+
+class Nic:
+    """One full-duplex port: independent transmit and receive capacity."""
+
+    __slots__ = ("name", "tx_rate", "rx_rate", "stats")
+
+    def __init__(self, name: str, rate: float, rx_rate: Optional[float] = None) -> None:
+        if rate <= 0:
+            raise ValueError("NIC rate must be positive")
+        self.name = name
+        self.tx_rate = rate
+        self.rx_rate = rx_rate if rx_rate is not None else rate
+        self.stats = FlowStats()
+
+
+class _Flow:
+    """An in-flight transfer between two NICs."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "remaining",
+        "total",
+        "rate",
+        "done",
+        "started_at",
+        "last_update",
+    )
+
+    def __init__(self, src: Nic, dst: Nic, nbytes: int, done: Event, now: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.remaining = float(nbytes)
+        self.total = nbytes
+        self.rate = 0.0
+        self.done = done
+        self.started_at = now
+        self.last_update = now
+
+
+class Switch:
+    """A non-blocking switch connecting NICs in a star topology."""
+
+    #: Fixed one-way latency added to every transfer (switch + stack).
+    BASE_LATENCY = 50 * units.USEC
+
+    def __init__(self, sim: Simulator, name: str = "switch") -> None:
+        self.sim = sim
+        self.name = name
+        self._nics: Dict[str, Nic] = {}
+        self._flows: List[_Flow] = []
+        self._timer_version = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Topology.
+    # ------------------------------------------------------------------
+    def attach(self, nic: Nic) -> Nic:
+        if nic.name in self._nics:
+            raise SimulationError(f"NIC {nic.name!r} attached twice")
+        self._nics[nic.name] = nic
+        return nic
+
+    def nic(self, name: str) -> Nic:
+        return self._nics[name]
+
+    # ------------------------------------------------------------------
+    # Transfers.
+    # ------------------------------------------------------------------
+    def transfer(self, src: Nic, dst: Nic, nbytes: int) -> Event:
+        """Start a flow of ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that fires (with the flow duration) when the last
+        byte arrives.  Zero-byte transfers complete after the base latency.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        done = self.sim.event()
+        src.stats.flows_started += 1
+        if nbytes == 0:
+            start = self.sim.now
+            latency_done = self.sim.timeout(self.BASE_LATENCY)
+            latency_done.add_callback(
+                lambda _ev: done.succeed(self.sim.now - start)
+            )
+            return done
+        flow = _Flow(src, dst, nbytes, done, self.sim.now)
+        self._bank_progress()
+        self._flows.append(flow)
+        self._reallocate()
+        return done
+
+    # ------------------------------------------------------------------
+    # Max-min fair allocation (progressive filling).
+    # ------------------------------------------------------------------
+    def _reallocate(self) -> None:
+        """Recompute every flow's rate and re-arm the completion timer."""
+        if not self._flows:
+            return
+        # Port -> (capacity, unfrozen flow count).  Ports are keyed by
+        # (nic, direction) so tx and rx are independent.
+        remaining_cap: Dict[tuple, float] = {}
+        load: Dict[tuple, int] = {}
+        for flow in self._flows:
+            tx_key = (flow.src, "tx")
+            rx_key = (flow.dst, "rx")
+            remaining_cap.setdefault(tx_key, flow.src.tx_rate)
+            remaining_cap.setdefault(rx_key, flow.dst.rx_rate)
+            load[tx_key] = load.get(tx_key, 0) + 1
+            load[rx_key] = load.get(rx_key, 0) + 1
+
+        unfrozen = list(self._flows)
+        while unfrozen:
+            # The bottleneck port is the one offering the smallest fair
+            # share to its unfrozen flows.
+            bottleneck_key = min(
+                (key for key in load if load[key] > 0),
+                key=lambda key: remaining_cap[key] / load[key],
+            )
+            # Clamp: repeated subtraction can drive a port's remaining
+            # capacity a few ULPs below zero, and a negative share would
+            # make flows run backwards (a livelock in disguise).
+            share = max(remaining_cap[bottleneck_key], 0.0) / load[bottleneck_key]
+            frozen_now = [
+                flow
+                for flow in unfrozen
+                if (flow.src, "tx") == bottleneck_key
+                or (flow.dst, "rx") == bottleneck_key
+            ]
+            for flow in frozen_now:
+                flow.rate = share
+                for key in ((flow.src, "tx"), (flow.dst, "rx")):
+                    remaining_cap[key] -= share
+                    load[key] -= 1
+                unfrozen.remove(flow)
+        self._arm_timer()
+
+    def _bank_progress(self) -> None:
+        """Credit every flow with bytes moved at its current rate."""
+        now = self.sim.now
+        finished: List[_Flow] = []
+        for flow in self._flows:
+            elapsed = now - flow.last_update
+            if elapsed > 0 and flow.rate > 0:
+                moved = min(flow.remaining, flow.rate * elapsed)
+                flow.remaining -= moved
+            flow.last_update = now
+            if flow.remaining <= max(1e-6, flow.total * 1e-12):
+                finished.append(flow)
+        for flow in finished:
+            self._finish(flow)
+
+    def _finish(self, flow: _Flow) -> None:
+        self._flows.remove(flow)
+        flow.src.stats.bytes_sent += flow.total
+        flow.dst.stats.bytes_received += flow.total
+        flow.src.stats.flows_finished += 1
+        self.total_bytes += flow.total
+        duration = self.sim.now - flow.started_at + self.BASE_LATENCY
+        # Deliver completion after the base latency so even an
+        # infinitely-fast link has nonzero transfer time.
+        delivery = self.sim.timeout(self.BASE_LATENCY)
+        delivery.add_callback(lambda _ev: flow.done.succeed(duration))
+
+    def _arm_timer(self) -> None:
+        """Schedule a wakeup at the earliest flow completion."""
+        self._timer_version += 1
+        if not self._flows:
+            return
+        horizons = [
+            flow.remaining / flow.rate for flow in self._flows if flow.rate > 0
+        ]
+        if not horizons:
+            raise SimulationError("active flows but no positive rates")
+        # Floor the horizon at a nanosecond so floating-point residue can
+        # never re-arm the timer at the current instant forever.
+        horizon = max(min(horizons), 1e-9)
+        version = self._timer_version
+        timer = self.sim.timeout(horizon)
+        timer.add_callback(lambda _ev: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # stale timer from before a reallocation
+        self._bank_progress()
+        self._reallocate()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def node_traffic(self) -> Dict[str, FlowStats]:
+        """Per-NIC traffic counters, keyed by NIC name."""
+        return {name: nic.stats for name, nic in self._nics.items()}

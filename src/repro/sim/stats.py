@@ -1,0 +1,125 @@
+"""Measurement helpers: counters, gauges, and time-weighted averages.
+
+Experiments accumulate metrics through a :class:`MetricSet` so the
+benchmark harness can print consistent tables.  Everything here is plain
+arithmetic -- no simulation dependencies -- which also makes it easy to
+property-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class TimeWeightedGauge:
+    """A gauge whose average is weighted by how long each value held.
+
+    Used to report, e.g., the average number of outstanding journal
+    records (the paper observes "at most one or two outstanding").
+    """
+
+    __slots__ = ("_value", "_last_time", "_area", "_start", "max_value")
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self._value = initial
+        self._last_time = start_time
+        self._start = start_time
+        self._area = 0.0
+        self.max_value = initial
+
+    def set(self, value: float, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._area += self._value * (now - self._last_time)
+        self._value = value
+        self._last_time = now
+        self.max_value = max(self.max_value, value)
+
+    def adjust(self, delta: float, now: float) -> None:
+        self.set(self._value + delta, now)
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    def average(self, now: float) -> float:
+        span = now - self._start
+        if span <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_time)
+        return area / span
+
+
+@dataclass
+class Histogram:
+    """A tiny fixed-bucket histogram for latency-style samples."""
+
+    bounds: Tuple[float, ...] = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+    counts: List[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+    max: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, sample: float) -> None:
+        index = 0
+        while index < len(self.bounds) and sample > self.bounds[index]:
+            index += 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += sample
+        self.max = max(self.max, sample)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+
+class MetricSet:
+    """A named bag of counters for one experiment run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counter(name).add(amount)
+
+    def get(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+    def merge(self, other: "MetricSet") -> None:
+        for name, counter in other._counters.items():
+            self.counter(name).add(counter.value)
+
+
+def mean(samples: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(samples)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,28 @@
+"""Payload substrate: real-bytes and symbolic data planes.
+
+Functional tests need bit-exact parity and recovery (real XOR over real
+bytes); large timing experiments simulate hundreds of gigabytes that
+cannot live in memory.  Both run through the same code paths by swapping
+the payload representation:
+
+- :class:`BytesPayload` carries a real numpy byte buffer; XOR is
+  ``np.bitwise_xor``.
+- :class:`TokenPayload` carries a frozenset of opaque write tokens; XOR is
+  symmetric difference.  Because (sets, symmetric-difference) and
+  (bytes, XOR) are both abelian groups where every element is its own
+  inverse, every parity identity that holds for tokens holds for bytes --
+  the symbolic plane is a faithful homomorphic image of the real one.
+
+:class:`ContentFactory` mints deterministic payloads for a given
+(name, version) in either mode, so experiments can verify recovered data
+without retaining originals.
+"""
+
+from repro.storage.payload import (
+    BytesPayload,
+    ContentFactory,
+    Payload,
+    TokenPayload,
+)
+
+__all__ = ["BytesPayload", "ContentFactory", "Payload", "TokenPayload"]

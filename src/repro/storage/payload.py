@@ -1,0 +1,161 @@
+"""Payload representations shared by the data and parity planes.
+
+See the package docstring for the byte/token duality.  All payloads are
+immutable value objects: every operation returns a new payload, which
+keeps journal records trivially correct (a record's "old data" snapshot
+cannot be mutated from underneath it).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import FrozenSet, Optional, Tuple, Union
+
+import numpy as np
+
+
+class Payload:
+    """Common interface of both payload planes."""
+
+    def xor(self, other: "Payload") -> "Payload":
+        raise NotImplementedError
+
+    def is_zero(self) -> bool:
+        raise NotImplementedError
+
+    def __xor__(self, other: "Payload") -> "Payload":
+        return self.xor(other)
+
+    # Subclasses implement __eq__/__hash__.
+
+
+class BytesPayload(Payload):
+    """A real byte buffer (numpy uint8), fixed length."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Union[bytes, np.ndarray]) -> None:
+        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+        # Copy so the payload owns its buffer (immutability).
+        self.data = arr.copy()
+        self.data.setflags(write=False)
+
+    @classmethod
+    def zeros(cls, length: int) -> "BytesPayload":
+        return cls(np.zeros(length, dtype=np.uint8))
+
+    def xor(self, other: Payload) -> "BytesPayload":
+        if not isinstance(other, BytesPayload):
+            raise TypeError("cannot XOR bytes with symbolic payload")
+        if len(self.data) != len(other.data):
+            raise ValueError(
+                f"payload length mismatch: {len(self.data)} vs {len(other.data)}"
+            )
+        return BytesPayload(np.bitwise_xor(self.data, other.data))
+
+    def is_zero(self) -> bool:
+        return not self.data.any()
+
+    def slice(self, start: int, end: int) -> "BytesPayload":
+        return BytesPayload(self.data[start:end])
+
+    def splice(self, offset: int, patch: "BytesPayload") -> "BytesPayload":
+        """Return a copy with ``patch`` written at ``offset``."""
+        end = offset + len(patch.data)
+        if offset < 0 or end > len(self.data):
+            raise ValueError("splice outside payload")
+        merged = self.data.copy()
+        merged[offset:end] = patch.data
+        return BytesPayload(merged)
+
+    def to_bytes(self) -> bytes:
+        return self.data.tobytes()
+
+    def checksum(self) -> int:
+        """CRC32 of the content (models HDFS's per-block checksum file)."""
+        return zlib.crc32(self.data.tobytes())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BytesPayload) and np.array_equal(self.data, other.data)
+
+    def __hash__(self) -> int:
+        return hash(self.data.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BytesPayload len={len(self.data)} crc={self.checksum():08x}>"
+
+
+class TokenPayload(Payload):
+    """A symbolic payload: a set of opaque tokens under symmetric diff.
+
+    A fresh write of version ``v`` of some datum is the singleton
+    ``{(name, v)}``.  XOR-ing an old version against a new one yields
+    ``{(name, v_old), (name, v_new)}`` -- exactly the delta an Lstor
+    absorbs -- and parity consistency reduces to set equality.
+    """
+
+    __slots__ = ("tokens",)
+
+    def __init__(self, tokens: FrozenSet[Tuple] = frozenset()) -> None:
+        self.tokens = frozenset(tokens)
+
+    @classmethod
+    def zeros(cls, _length: int = 0) -> "TokenPayload":
+        return cls(frozenset())
+
+    @classmethod
+    def of(cls, name: str, version: int) -> "TokenPayload":
+        return cls(frozenset({(name, version)}))
+
+    def xor(self, other: Payload) -> "TokenPayload":
+        if not isinstance(other, TokenPayload):
+            raise TypeError("cannot XOR symbolic payload with bytes")
+        return TokenPayload(self.tokens ^ other.tokens)
+
+    def is_zero(self) -> bool:
+        return not self.tokens
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TokenPayload) and self.tokens == other.tokens
+
+    def __hash__(self) -> int:
+        return hash(self.tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TokenPayload {sorted(self.tokens)!r}>"
+
+
+class ContentFactory:
+    """Mints deterministic payloads for named data in either plane.
+
+    ``mode`` is ``"bytes"`` (real data, sizes must be modest) or
+    ``"tokens"`` (symbolic, any size).  The factory also *re-mints* a
+    payload for verification: recovered content must equal
+    ``factory.make(name, version)``.
+    """
+
+    def __init__(self, mode: str = "bytes", seed: int = 0x5EED) -> None:
+        if mode not in ("bytes", "tokens"):
+            raise ValueError(f"unknown payload mode {mode!r}")
+        self.mode = mode
+        self.seed = seed
+
+    @property
+    def symbolic(self) -> bool:
+        return self.mode == "tokens"
+
+    def make(self, name: str, version: int, length: int) -> Payload:
+        if self.mode == "tokens":
+            return TokenPayload.of(name, version)
+        rng = np.random.default_rng(
+            (hash((self.seed, name, version)) & 0x7FFFFFFFFFFFFFFF)
+        )
+        return BytesPayload(rng.integers(0, 256, size=length, dtype=np.uint8))
+
+    def zero(self, length: int) -> Payload:
+        if self.mode == "tokens":
+            return TokenPayload.zeros()
+        return BytesPayload.zeros(length)

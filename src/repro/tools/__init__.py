@@ -1,0 +1,6 @@
+"""Operator-facing command-line tools.
+
+- :mod:`repro.tools.raidpctl` -- the ``raidpctl`` binary: inspect
+  layouts, run quick benchmarks, stage failure drills, and evaluate the
+  TCO trade for a given fleet, all from the shell.
+"""

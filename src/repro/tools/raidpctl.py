@@ -1,0 +1,216 @@
+"""``raidpctl``: drive the RAIDP simulator from the command line.
+
+Subcommands::
+
+    raidpctl layout --nodes 7                     # render a layout (Fig. 3)
+    raidpctl bench --system raidp --data 4GiB     # quick write/read bench
+    raidpctl drill --nodes 8 --double             # failure drill + verify
+    raidpctl tco --disk-cost 280 --server-cost 28000 --disks 60
+    raidpctl experiments fig8                     # regenerate a figure
+
+Every command is deterministic and runs entirely in simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import units
+from repro.analysis.cost import DatacenterCostModel, LstorBom, ServerExample
+from repro.core.cluster import RaidpCluster
+from repro.core.node import RaidpConfig
+from repro.core.recovery import RecoveryManager, RecoveryOptions
+from repro.hdfs.config import DfsConfig
+from repro.hdfs.filesystem import HdfsCluster
+from repro.sim.cluster import ClusterSpec
+from repro.workloads.dfsio import dfsio_read, dfsio_write
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="raidpctl", description="RAIDP reproduction control tool"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    layout = sub.add_parser("layout", help="construct and render a superchunk layout")
+    layout.add_argument("--nodes", type=int, default=7)
+    layout.add_argument("--per-disk", type=int, default=None)
+    layout.add_argument("--disks-per-node", type=int, default=1)
+
+    bench = sub.add_parser("bench", help="run a quick DFSIO write+read benchmark")
+    bench.add_argument(
+        "--system", choices=("raidp", "raidp-rewrite", "hdfs2", "hdfs3"), default="raidp"
+    )
+    bench.add_argument("--nodes", type=int, default=16)
+    bench.add_argument("--data", default="4GiB", help="total dataset, e.g. 4GiB")
+    bench.add_argument("--seed", type=int, default=1)
+
+    drill = sub.add_parser("drill", help="run a failure drill with verification")
+    drill.add_argument("--nodes", type=int, default=8)
+    drill.add_argument("--double", action="store_true", help="double disk failure")
+    drill.add_argument("--seed", type=int, default=1)
+
+    tco = sub.add_parser("tco", help="evaluate the 2-replicas+Lstor TCO trade")
+    tco.add_argument("--disk-cost", type=float, default=150.0)
+    tco.add_argument("--server-cost", type=float, default=20_000.0)
+    tco.add_argument("--disks", type=int, default=6)
+    tco.add_argument("--lstor-cost", type=float, default=30.0)
+
+    experiments = sub.add_parser("experiments", help="regenerate paper experiments")
+    experiments.add_argument("names", nargs="*", default=[])
+    experiments.add_argument("--full", action="store_true")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations.
+# ----------------------------------------------------------------------
+def cmd_layout(args) -> int:
+    if args.disks_per_node > 1:
+        from repro.core.layout import domain_aware_layout
+
+        domains = {
+            f"n{n}-d{d}": f"n{n}"
+            for n in range(args.nodes)
+            for d in range(args.disks_per_node)
+        }
+        layout = domain_aware_layout(domains, args.per_disk or 4)
+    else:
+        from repro.core.layout import rotational_layout
+
+        layout = rotational_layout(args.nodes, superchunks_per_disk=args.per_disk)
+    print(layout.render())
+    total = len(layout.superchunks)
+    print(
+        f"\n{len(layout.disks)} disks, {total} superchunks "
+        f"(bound: {layout.max_total_superchunks(len(layout.disks))}); "
+        "1-sharing and 1-mirroring verified"
+    )
+    layout.verify()
+    return 0
+
+
+def _build_system(system: str, nodes: int, seed: int):
+    spec = ClusterSpec(num_nodes=nodes)
+    if system in ("hdfs2", "hdfs3"):
+        replication = 2 if system == "hdfs2" else 3
+        return HdfsCluster(
+            spec=spec,
+            config=DfsConfig(replication=replication),
+            payload_mode="tokens",
+            seed=seed,
+        )
+    raidp = RaidpConfig(update_oriented=(system == "raidp-rewrite"))
+    return RaidpCluster(
+        spec=spec,
+        config=DfsConfig(replication=2),
+        raidp=raidp,
+        payload_mode="tokens",
+        seed=seed,
+    )
+
+
+def cmd_bench(args) -> int:
+    nbytes = units.parse_size(args.data)
+    dfs = _build_system(args.system, args.nodes, args.seed)
+    write = dfsio_write(dfs, nbytes)
+    read = dfsio_read(dfs)
+    for result in (write, read):
+        print(result.summary())
+    print(
+        f"throughput: write {nbytes / write.runtime / units.MB:.0f} MB/s, "
+        f"read {nbytes / read.runtime / units.MB:.0f} MB/s (simulated)"
+    )
+    return 0
+
+
+def cmd_drill(args) -> int:
+    dfs = RaidpCluster(
+        spec=ClusterSpec(num_nodes=args.nodes),
+        config=DfsConfig(block_size=units.MiB, replication=2),
+        superchunk_size=4 * units.MiB,
+        superchunks_per_disk=max(args.nodes // 3, 2),
+        payload_mode="bytes",
+        seed=args.seed,
+    )
+
+    def workload():
+        for index, client in enumerate(dfs.clients):
+            yield from client.write_file(f"/drill/file{index}", 3 * units.MiB)
+
+    dfs.sim.run_process(workload())
+    manager = RecoveryManager(dfs)
+    if args.double:
+        a, b = next(
+            (x, y)
+            for x in dfs.layout.disks
+            for y in dfs.layout.disks
+            if x < y and dfs.layout.shared(x, y) is not None
+        )
+        print(f"double failure drill: {a} and {b} (shared superchunk lost)")
+        report = manager.recover_double_failure(a, b, options=RecoveryOptions())
+        print(
+            f"reconstructed superchunk {report.reconstructed_sc}, re-mirrored "
+            f"{len(report.remirrored)} in {units.format_duration(report.duration)}"
+        )
+    else:
+        victim = dfs.layout.disks[0]
+        print(f"single failure drill: {victim}")
+        report = manager.recover_single_failure(victim)
+        print(
+            f"re-mirrored {len(report.remirrored)} superchunks in "
+            f"{units.format_duration(report.duration)}"
+        )
+    dfs.layout.verify()
+    dfs.verify_mirrors()
+    dfs.verify_parity()
+    print("drill passed: mirrors bit-identical, parity exact, layout legal")
+    return 0
+
+
+def cmd_tco(args) -> int:
+    server = ServerExample(
+        name="your-fleet",
+        server_cost=args.server_cost,
+        num_disks=args.disks,
+        disk_street_price=args.disk_cost,
+    )
+    lstor = LstorBom(
+        flash_and_dram=args.lstor_cost - 21.0,
+        microcontroller=5.0,
+        supercap_and_enclosure=16.0,
+    )
+    model = DatacenterCostModel(derived_disk_cost=server.derived_disk_cost, lstor=lstor)
+    print(f"derived disk cost: ${server.derived_disk_cost:,.0f} "
+          f"({server.derived_multiplier:.1f}x street price)")
+    print(f"Lstor BOM:         ${lstor.total:,.0f}")
+    print(f"TCO savings:       {model.raidp_savings_fraction():.1%} "
+          "(bound 33.3%) for 2 replicas + 1 Lstor each vs triplication")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.runner import main as experiments_main
+
+    argv: List[str] = list(args.names)
+    if args.full:
+        argv.append("--full")
+    return experiments_main(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "layout": cmd_layout,
+        "bench": cmd_bench,
+        "drill": cmd_drill,
+        "tco": cmd_tco,
+        "experiments": cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

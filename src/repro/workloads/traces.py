@@ -1,0 +1,142 @@
+"""Trace-driven workloads (paper §8: "real-world traces from databases
+could be used to showcase the I/O savings that [in-place] updates provide").
+
+Provides a minimal trace format (:class:`TraceOp`), a seeded YCSB-style
+generator with Zipfian key popularity, and a replayer that drives the
+trace through DFS clients in one of two modes:
+
+- ``in_place``: updates use :meth:`DfsClient.update_file_range` -- the
+  RAIDP extension; only the touched ranges move.
+- ``rewrite``: updates rewrite the whole file (the append-only HDFS way:
+  delete + re-create).
+
+Comparing the two modes on the same trace quantifies the §8 claim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro import units
+from repro.errors import DfsError
+from repro.workloads.driver import WorkloadResult, run_tasks
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One operation of a storage trace."""
+
+    kind: str  # "write" | "read" | "update"
+    path: str
+    offset: int = 0
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read", "update"):
+            raise ValueError(f"unknown trace op {self.kind!r}")
+
+
+def zipf_weights(n: int, skew: float = 0.99) -> List[float]:
+    """Zipfian popularity weights for ranks 1..n."""
+    weights = [1.0 / (rank**skew) for rank in range(1, n + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def generate_ycsb_trace(
+    num_records: int = 20,
+    record_size: int = 4 * units.MiB,
+    operations: int = 200,
+    update_fraction: float = 0.5,
+    update_size: int = 64 * units.KiB,
+    skew: float = 0.99,
+    seed: int = 0x7AACE,
+) -> List[TraceOp]:
+    """A YCSB-A-like trace: zipfian reads and small in-record updates.
+
+    Begins with a load phase (one write per record), then ``operations``
+    reads/updates with Zipfian record popularity.
+    """
+    if not 0.0 <= update_fraction <= 1.0:
+        raise ValueError("update_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    paths = [f"/ycsb/record-{i:04d}" for i in range(num_records)]
+    trace = [TraceOp("write", path, 0, record_size) for path in paths]
+    weights = zipf_weights(num_records, skew)
+    for _ in range(operations):
+        path = rng.choices(paths, weights=weights)[0]
+        if rng.random() < update_fraction:
+            offset = rng.randrange(0, max(record_size - update_size, 1))
+            trace.append(TraceOp("update", path, offset, update_size))
+        else:
+            trace.append(TraceOp("read", path, 0, record_size))
+    return trace
+
+
+def replay_trace(
+    dfs,
+    trace: Sequence[TraceOp],
+    mode: str = "in_place",
+    clients_used: Optional[int] = None,
+    name: Optional[str] = None,
+) -> WorkloadResult:
+    """Replay a trace against a cluster; returns the usual counters.
+
+    ``mode`` selects how updates are executed: ``in_place`` (RAIDP's
+    sub-block path) or ``rewrite`` (delete + full re-write, the
+    append-only fallback that works on any DFS).
+    """
+    if mode not in ("in_place", "rewrite"):
+        raise ValueError(f"unknown replay mode {mode!r}")
+    clients = dfs.clients[: clients_used or len(dfs.clients)]
+    # Per-path ownership keeps per-file op order while allowing different
+    # records to proceed in parallel (like independent DB shards).
+    by_path: Dict[str, List[TraceOp]] = {}
+    for op in trace:
+        by_path.setdefault(op.path, []).append(op)
+
+    def shard_task(path: str, ops: List[TraceOp], client) -> Generator:
+        size_of: Dict[str, int] = {}
+        for op in ops:
+            if op.kind == "write":
+                if dfs.namenode.file_exists(op.path):
+                    yield from client.delete_file(op.path)
+                yield from client.write_file(op.path, op.nbytes)
+                size_of[op.path] = op.nbytes
+            elif op.kind == "read":
+                yield from client.read_file(op.path)
+            elif op.kind == "update":
+                if mode == "in_place":
+                    yield from client.update_file_range(op.path, op.offset, op.nbytes)
+                else:
+                    # Append-only fallback: rewrite the whole record.
+                    yield from client.rewrite_file(op.path)
+        return None
+
+    bodies = [
+        shard_task(path, ops, clients[index % len(clients)])
+        for index, (path, ops) in enumerate(sorted(by_path.items()))
+    ]
+    return run_tasks(dfs, bodies, name or f"trace-{mode}")
+
+
+def update_amplification(trace: Sequence[TraceOp]) -> float:
+    """Bytes a rewrite-mode replay moves per byte an in-place one does.
+
+    Pure trace arithmetic (no simulation): every update costs its range
+    in-place, but the whole record under rewrite.
+    """
+    sizes: Dict[str, int] = {}
+    in_place = 0
+    rewrite = 0
+    for op in trace:
+        if op.kind == "write":
+            sizes[op.path] = op.nbytes
+        elif op.kind == "update":
+            in_place += op.nbytes
+            rewrite += sizes.get(op.path, op.nbytes)
+    if in_place == 0:
+        raise DfsError("trace contains no updates")
+    return rewrite / in_place

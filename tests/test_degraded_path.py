@@ -1,0 +1,131 @@
+"""Tests for §3.4's data-path behavior during failures: degraded reads
+through the Lstor and write diversion from recovering superchunks."""
+
+import pytest
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.recovery import RecoveryManager
+from repro.errors import BlockMissingError
+from repro.hdfs.config import DfsConfig
+from repro.sim.cluster import ClusterSpec
+
+
+def cluster(payload_mode="bytes", num_nodes=6, per_disk=None):
+    return RaidpCluster(
+        spec=ClusterSpec(num_nodes=num_nodes),
+        config=DfsConfig(block_size=units.MiB, replication=2),
+        superchunk_size=4 * units.MiB,
+        superchunks_per_disk=per_disk,
+        payload_mode=payload_mode,
+    )
+
+
+def fail_both_replicas(dfs, locations):
+    for name in locations.datanodes:
+        datanode = dfs.datanode_by_name(name)
+        datanode.disk.fail()
+        dfs.namenode.datanode(name).alive = False
+    return locations
+
+
+# ----------------------------------------------------------------------
+# Degraded reads.
+# ----------------------------------------------------------------------
+def test_degraded_read_returns_exact_content():
+    dfs = cluster()
+    writer = dfs.client(0)
+    dfs.sim.run_process(writer.write_file("/f", 3 * units.MiB))
+    block = dfs.namenode.file_blocks("/f")[0]
+    locations = dfs.namenode.locate_block(block.block_id)
+    original = dfs.datanode_by_name(locations.datanodes[0]).content_of(block.name)
+    fail_both_replicas(dfs, locations)
+    reader = next(
+        c for c in dfs.clients if c.node.name not in locations.datanodes
+    )
+
+    def body():
+        payload = yield from reader.read_block(locations)
+        return payload
+
+    payload = dfs.sim.run_process(body())
+    assert payload == original
+    assert reader.stats_degraded_reads == 1
+
+
+def test_degraded_read_burdens_many_nodes():
+    """Like an erasure-coded degraded read, the fallback moves roughly
+    one block per surviving superchunk of the failed disk."""
+    dfs = cluster(payload_mode="tokens")
+    writer = dfs.client(0)
+    dfs.sim.run_process(writer.write_file("/f", units.MiB))
+    locations = dfs.namenode.locate_block(dfs.namenode.file_blocks("/f")[0].block_id)
+    fail_both_replicas(dfs, locations)
+    reader = next(c for c in dfs.clients if c.node.name not in locations.datanodes)
+    before = dfs.total_network_bytes()
+    dfs.sim.run_process(reader.read_block(locations))
+    moved = dfs.total_network_bytes() - before
+    siblings = len(dfs.layout.superchunks_of(locations.datanodes[0]))
+    assert moved == siblings * locations.block.size  # parity + N-1 siblings
+
+
+def test_degraded_read_fails_without_any_lstor():
+    dfs = cluster(payload_mode="tokens")
+    writer = dfs.client(0)
+    dfs.sim.run_process(writer.write_file("/f", units.MiB))
+    locations = dfs.namenode.locate_block(dfs.namenode.file_blocks("/f")[0].block_id)
+    fail_both_replicas(dfs, locations)
+    for name in locations.datanodes:
+        dfs.datanode_by_name(name).node.alive = False  # whole servers gone
+    reader = next(c for c in dfs.clients if c.node.name not in locations.datanodes)
+    with pytest.raises(BlockMissingError):
+        dfs.sim.run_process(reader.read_block(locations))
+
+
+def test_normal_reads_unaffected():
+    dfs = cluster(payload_mode="tokens")
+    writer = dfs.client(0)
+
+    def body():
+        yield from writer.write_file("/f", 2 * units.MiB)
+        total = yield from writer.read_file("/f")
+        return total
+
+    assert dfs.sim.run_process(body()) == 2 * units.MiB
+    assert writer.stats_degraded_reads == 0
+
+
+# ----------------------------------------------------------------------
+# Write diversion.
+# ----------------------------------------------------------------------
+def test_frozen_superchunks_reject_new_placements():
+    dfs = cluster(payload_mode="tokens", num_nodes=8, per_disk=3)
+    frozen = dfs.layout.superchunks_of("n0")
+    for sc_id in frozen:
+        dfs.map.freeze(sc_id)
+    client = dfs.client(1)
+    dfs.sim.run_process(client.write_file("/f", 8 * units.MiB))
+    for block in dfs.namenode.file_blocks("/f"):
+        locations = dfs.namenode.locate_block(block.block_id)
+        assert locations.sc_id not in frozen
+
+
+def test_recovery_unfreezes_when_done():
+    dfs = cluster(payload_mode="tokens", num_nodes=8, per_disk=3)
+
+    def writers():
+        procs = [
+            dfs.sim.process(c.write_file(f"/f{i}", 2 * units.MiB))
+            for i, c in enumerate(dfs.clients[:4])
+        ]
+        yield dfs.sim.all_of(procs)
+
+    dfs.sim.run_process(writers())
+    manager = RecoveryManager(dfs)
+    affected = list(dfs.layout.superchunks_of("n0"))
+    manager.recover_single_failure("n0")
+    assert all(not dfs.map.is_frozen(sc) for sc in affected)
+    # And post-recovery writes can use the re-mirrored superchunks again.
+    client = dfs.client(1)
+    dfs.sim.run_process(client.write_file("/post", 4 * units.MiB))
+    dfs.verify_mirrors()

@@ -1,0 +1,117 @@
+"""Tests for the durability/availability analysis (paper §2)."""
+
+import pytest
+
+from repro.analysis.durability import (
+    FailureSimulator,
+    FleetSpec,
+    durability_summary,
+    mttdl_erasure,
+    mttdl_raidp,
+    mttdl_replication,
+)
+
+
+# ----------------------------------------------------------------------
+# Analytic MTTDL.
+# ----------------------------------------------------------------------
+def test_more_replicas_last_longer():
+    two = mttdl_replication(2, 1e6, 12.0)
+    three = mttdl_replication(3, 1e6, 12.0)
+    assert three > two * 100  # each extra replica multiplies MTTDL
+
+
+def test_faster_rebuild_improves_mttdl():
+    slow = mttdl_replication(3, 1e6, 48.0)
+    fast = mttdl_replication(3, 1e6, 6.0)
+    assert fast > slow
+
+
+def test_raidp_matches_triplication_class_durability():
+    """The paper's durability claim: RAIDP with one Lstor tolerates the
+    same double failure as triplication."""
+    raidp = mttdl_raidp(1e6, 12.0)
+    rep3 = mttdl_replication(3, 1e6, 12.0)
+    rep2 = mttdl_replication(2, 1e6, 12.0)
+    assert raidp == pytest.approx(rep3)
+    assert raidp > rep2 * 1000
+
+
+def test_unreliable_lstor_degrades_durability():
+    perfect = mttdl_raidp(1e6, 12.0)
+    flaky = mttdl_raidp(1e6, 12.0, lstor_mttf_hours=1e4)
+    assert flaky < perfect
+    assert flaky > mttdl_replication(2, 1e6, 12.0)  # still better than 2-rep
+
+
+def test_stacked_lstors_increase_durability():
+    one = mttdl_raidp(1e6, 12.0, lstors_per_disk=1)
+    two = mttdl_raidp(1e6, 12.0, lstors_per_disk=2)
+    assert two > one * 100
+
+
+def test_erasure_wide_stripe_is_more_exposed():
+    narrow = mttdl_erasure(4, 2, 1e6, 12.0)
+    wide = mttdl_erasure(16, 2, 1e6, 12.0)
+    assert narrow > wide  # more disks in a stripe, more exposure
+
+
+def test_replication_validation():
+    with pytest.raises(ValueError):
+        mttdl_replication(0, 1e6, 12.0)
+
+
+def test_summary_orders_schemes():
+    summary = durability_summary()
+    assert summary["rep2"] < summary["raidp"]
+    assert summary["raidp"] == pytest.approx(summary["rep3"])
+    assert summary["raidp(2 lstors)"] > summary["raidp"]
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def outcomes():
+    # Aggressive failure rates so events occur within few trials.
+    spec = FleetSpec(
+        num_racks=8,
+        disks_per_rack=4,
+        disk_afr=0.5,
+        rack_outage_rate=12.0,
+        rebuild_hours=24.0 * 14,
+        years=3.0,
+    )
+    return FailureSimulator(spec, seed=7).run(trials=600)
+
+
+def test_monte_carlo_durability_ordering(outcomes):
+    """Data-loss probability: rep2 >> raidp ~ rep3."""
+    assert outcomes["rep2"].loss_probability > outcomes["rep3"].loss_probability
+    assert outcomes["rep2"].loss_probability > outcomes["raidp"].loss_probability
+    # RAIDP's durability is in triplication's class (within noise).
+    assert outcomes["raidp"].loss_probability <= outcomes["rep2"].loss_probability / 2
+
+
+def test_monte_carlo_availability_penalty(outcomes):
+    """The paper's §2 concession: RAIDP spans only two failure domains,
+    so rack outages hide data more often than under triplication."""
+    assert (
+        outcomes["raidp"].unavailability_probability
+        >= outcomes["rep3"].unavailability_probability
+    )
+
+
+def test_monte_carlo_is_deterministic():
+    spec = FleetSpec(disk_afr=0.3, years=1.0)
+    first = FailureSimulator(spec, seed=3).run(trials=50)
+    second = FailureSimulator(spec, seed=3).run(trials=50)
+    for name in first:
+        assert first[name].loss_probability == second[name].loss_probability
+
+
+def test_monte_carlo_counts_are_consistent(outcomes):
+    for outcome in outcomes.values():
+        assert outcome.trials == 600
+        assert 0 <= outcome.data_loss_events <= outcome.trials
+        assert 0 <= outcome.unavailability_events <= outcome.trials

@@ -1,0 +1,79 @@
+"""Smoke tests for the experiment registry and the analytic regenerators.
+
+The heavyweight simulation experiments (fig8/fig9/fig10/table2) are
+exercised with full shape assertions by the benchmark harness under
+``benchmarks/``; here we cover the registry plumbing and the fast
+analytic experiments, plus one reduced-seed simulation run.
+"""
+
+import pytest
+
+from repro.experiments.runner import (
+    REGISTRY,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    main,
+    run_experiment,
+)
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(list_experiments()) == {
+        "fig1",
+        "table1",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table2",
+        "ext-durability",
+        "ext-updates",
+        "ext-ssd",
+    }
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+def test_analytic_experiments_run():
+    for name in ("fig1", "table1", "fig7"):
+        result = run_experiment(name)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows
+        assert name in result.render()
+
+
+def test_result_render_includes_paper_column():
+    result = ExperimentResult(experiment="x", title="t")
+    result.add("with paper", 1.5, 2.0)
+    result.add("without paper", 3.0)
+    text = result.render()
+    assert "2.00" in text
+    assert "1.50" in text
+    assert "-" in text
+
+
+def test_cli_lists_registry(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out
+    assert "table2" in out
+
+
+def test_cli_runs_an_experiment(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "design space" in out
+
+
+def test_fig8_runs_at_reduced_scale():
+    from repro.experiments.fig8_write import run
+
+    result = run(seeds=(1,))
+    rows = {label: value for label, value, _ in result.rows}
+    # Core shape even with a single seed.
+    assert rows["raidp opt: only superchunks"] < 1.0
+    assert rows["raidp unopt: +journal"] > 5.0

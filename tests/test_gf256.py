@@ -1,0 +1,135 @@
+"""Unit and property tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ec.gf256 import GF256
+
+field_elem = st.integers(min_value=0, max_value=255)
+nonzero_elem = st.integers(min_value=1, max_value=255)
+
+
+def test_add_is_xor():
+    assert GF256.add(0x53, 0xCA) == 0x53 ^ 0xCA
+    assert GF256.sub(0x53, 0xCA) == 0x53 ^ 0xCA
+
+
+def test_known_multiplication():
+    # 0x53 * 0xCA = 0x01 under poly 0x11d (classic AES-adjacent example
+    # recomputed for 0x11d): verify via exhaustive definition instead.
+    def slow_mul(a, b):
+        result = 0
+        for _ in range(8):
+            if b & 1:
+                result ^= a
+            carry = a & 0x80
+            a = (a << 1) & 0xFF
+            if carry:
+                a ^= 0x11D & 0xFF
+            b >>= 1
+        return result
+
+    for a in (1, 2, 3, 0x53, 0x8E, 0xFF):
+        for b in (1, 2, 0x0A, 0xCA, 0xFF):
+            assert GF256.mul(a, b) == slow_mul(a, b)
+
+
+@given(field_elem, field_elem)
+def test_mul_commutative(a, b):
+    assert GF256.mul(a, b) == GF256.mul(b, a)
+
+
+@given(field_elem, field_elem, field_elem)
+def test_mul_associative(a, b, c):
+    assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+
+@given(field_elem, field_elem, field_elem)
+def test_distributive(a, b, c):
+    assert GF256.mul(a, b ^ c) == GF256.mul(a, b) ^ GF256.mul(a, c)
+
+
+@given(nonzero_elem)
+def test_inverse_roundtrip(a):
+    assert GF256.mul(a, GF256.inv(a)) == 1
+
+
+@given(field_elem, nonzero_elem)
+def test_div_is_mul_by_inverse(a, b):
+    assert GF256.div(a, b) == GF256.mul(a, GF256.inv(b))
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        GF256.div(1, 0)
+    with pytest.raises(ZeroDivisionError):
+        GF256.inv(0)
+
+
+def test_generator_has_full_order():
+    seen = set()
+    value = 1
+    for _ in range(255):
+        seen.add(value)
+        value = GF256.mul(value, 2)
+    assert len(seen) == 255
+    assert value == 1  # g^255 == 1
+
+
+@given(nonzero_elem, st.integers(min_value=0, max_value=1000))
+def test_pow_matches_repeated_mul(base, exponent):
+    expected = 1
+    for _ in range(exponent % 255):
+        expected = GF256.mul(expected, base)
+    # pow reduces the exponent mod 255 (the multiplicative group order).
+    assert GF256.pow(base, exponent % 255) == expected
+
+
+def test_log_exp_roundtrip():
+    for a in range(1, 256):
+        assert GF256.exp(GF256.log(a)) == a
+
+
+def test_log_zero_raises():
+    with pytest.raises(ValueError):
+        GF256.log(0)
+
+
+@given(field_elem, st.binary(min_size=1, max_size=64))
+def test_mul_bytes_matches_scalar(scalar, data):
+    arr = np.frombuffer(data, dtype=np.uint8)
+    out = GF256.mul_bytes(scalar, arr)
+    assert [GF256.mul(scalar, int(b)) for b in arr] == list(out)
+
+
+@given(field_elem, st.binary(min_size=1, max_size=64))
+def test_addmul_bytes_matches_scalar(scalar, data):
+    arr = np.frombuffer(data, dtype=np.uint8)
+    accum = np.zeros(len(arr), dtype=np.uint8)
+    GF256.addmul_bytes(accum, scalar, arr)
+    assert list(accum) == [GF256.mul(scalar, int(b)) for b in arr]
+
+
+def test_matrix_inverse_roundtrip():
+    matrix = GF256.vandermonde(4, 4)
+    inverse = GF256.mat_invert(matrix)
+    identity = GF256.mat_mul(matrix, inverse)
+    assert identity == [[int(i == j) for j in range(4)] for i in range(4)]
+
+
+def test_singular_matrix_raises():
+    singular = [[1, 2], [1, 2]]
+    with pytest.raises(ValueError):
+        GF256.mat_invert(singular)
+
+
+def test_vandermonde_submatrices_invertible():
+    """The MDS property rests on this: any k rows of V are independent."""
+    import itertools
+
+    v = GF256.vandermonde(7, 3)
+    for rows in itertools.combinations(range(7), 3):
+        sub = [v[r] for r in rows]
+        GF256.mat_invert(sub)  # must not raise

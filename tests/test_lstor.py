@@ -1,0 +1,195 @@
+"""Unit and property tests for Lstors and stacked Lstors (paper §3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.lstor import Lstor, LstorStack
+from repro.errors import LstorFailedError
+from repro.sim.engine import Simulator
+from repro.storage.payload import BytesPayload, ContentFactory, TokenPayload
+
+BLOCK = 1024
+
+
+def make_lstor(mode="bytes"):
+    sim = Simulator()
+    factory = ContentFactory(mode=mode)
+    return sim, factory, Lstor(sim, factory, name="L0", block_size=BLOCK)
+
+
+def make_stack(parity_count=2, data_shards=5):
+    sim = Simulator()
+    factory = ContentFactory(mode="bytes")
+    return (
+        sim,
+        factory,
+        LstorStack(
+            sim,
+            factory,
+            name="S",
+            block_size=BLOCK,
+            data_shards=data_shards,
+            parity_count=parity_count,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Single Lstor.
+# ----------------------------------------------------------------------
+def test_parity_starts_zero():
+    _sim, _factory, lstor = make_lstor()
+    assert lstor.parity_block(0).is_zero()
+
+
+def test_absorb_updates_parity():
+    _sim, factory, lstor = make_lstor()
+    payload = factory.make("a", 1, BLOCK)
+    lstor.absorb(0, factory.zero(BLOCK).xor(payload))
+    assert lstor.parity_block(0) == payload
+    # A second superchunk's block at the same slot XORs in.
+    other = factory.make("b", 1, BLOCK)
+    lstor.absorb(0, factory.zero(BLOCK).xor(other))
+    assert lstor.parity_block(0) == payload.xor(other)
+
+
+def test_absorb_tag_dedup():
+    _sim, factory, lstor = make_lstor()
+    delta = factory.make("a", 1, BLOCK)
+    lstor.absorb(0, delta, tag="t1")
+    lstor.absorb(0, delta, tag="t1")  # replay: must be a no-op
+    assert lstor.parity_block(0) == delta
+    lstor.absorb(0, delta, tag="t2")  # different tag applies
+    assert lstor.parity_block(0).is_zero()
+
+
+def test_failed_lstor_raises():
+    _sim, factory, lstor = make_lstor()
+    lstor.fail()
+    with pytest.raises(LstorFailedError):
+        lstor.parity_block(0)
+    with pytest.raises(LstorFailedError):
+        lstor.absorb(0, factory.zero(BLOCK))
+
+
+def test_absorb_timed_charges_transfer_time():
+    sim, factory, lstor = make_lstor()
+
+    def body():
+        yield from lstor.absorb_timed(0, factory.make("a", 1, BLOCK), BLOCK)
+
+    sim.run_process(body())
+    assert sim.now == pytest.approx(BLOCK / lstor.write_rate)
+    assert lstor.stats_bytes_absorbed == BLOCK
+
+
+def test_journal_write_time_scales():
+    _sim, _factory, lstor = make_lstor()
+    assert lstor.journal_write_time(2 * BLOCK) == 2 * lstor.journal_write_time(BLOCK)
+
+
+def test_token_mode_lstor():
+    _sim, factory, lstor = make_lstor(mode="tokens")
+    a = factory.make("a", 1, BLOCK)
+    lstor.absorb(3, factory.zero(BLOCK).xor(a))
+    assert lstor.parity_block(3) == a
+
+
+# ----------------------------------------------------------------------
+# Stacked Lstors (Reed-Solomon rows).
+# ----------------------------------------------------------------------
+def test_stack_requires_at_least_one():
+    sim = Simulator()
+    factory = ContentFactory(mode="bytes")
+    with pytest.raises(ValueError):
+        LstorStack(sim, factory, "S", BLOCK, data_shards=4, parity_count=0)
+
+
+def test_stack_rejects_symbolic_mode_for_rs():
+    sim = Simulator()
+    factory = ContentFactory(mode="tokens")
+    with pytest.raises(ValueError):
+        LstorStack(sim, factory, "S", BLOCK, data_shards=4, parity_count=2)
+
+
+def test_stack_single_parity_allows_tokens():
+    sim = Simulator()
+    factory = ContentFactory(mode="tokens")
+    stack = LstorStack(sim, factory, "S", BLOCK, data_shards=4, parity_count=1)
+    payload = factory.make("a", 1, BLOCK)
+    stack.absorb_update(0, 0, factory.zero(BLOCK), payload)
+    rebuilt = stack.reconstruct_block(0, {}, missing_shards=[0])
+    assert rebuilt[0] == payload
+
+
+def test_stack_recovers_two_missing_superchunks():
+    _sim, factory, stack = make_stack(parity_count=2, data_shards=5)
+    contents = {}
+    for shard in range(5):
+        payload = factory.make(f"s{shard}", 1, BLOCK)
+        stack.absorb_update(shard, 0, factory.zero(BLOCK), payload)
+        contents[shard] = payload
+    survivors = {s: p for s, p in contents.items() if s not in (1, 3)}
+    rebuilt = stack.reconstruct_block(0, survivors, missing_shards=[1, 3])
+    assert rebuilt[1] == contents[1]
+    assert rebuilt[3] == contents[3]
+
+
+def test_stack_survives_one_lstor_failure():
+    _sim, factory, stack = make_stack(parity_count=2, data_shards=4)
+    contents = {}
+    for shard in range(4):
+        payload = factory.make(f"s{shard}", 1, BLOCK)
+        stack.absorb_update(shard, 0, factory.zero(BLOCK), payload)
+        contents[shard] = payload
+    stack.lstors[0].fail()
+    survivors = {s: p for s, p in contents.items() if s != 2}
+    rebuilt = stack.reconstruct_block(0, survivors, missing_shards=[2])
+    assert rebuilt[2] == contents[2]
+
+
+def test_stack_with_all_lstors_dead_raises():
+    _sim, factory, stack = make_stack(parity_count=1, data_shards=3)
+    stack.lstors[0].fail()
+    with pytest.raises(LstorFailedError):
+        stack.reconstruct_block(0, {}, missing_shards=[0])
+
+
+def test_stack_handles_unwritten_shards_as_zero():
+    """Superchunk slots never written count as zeros in the RS code."""
+    _sim, factory, stack = make_stack(parity_count=2, data_shards=5)
+    written = factory.make("only", 1, BLOCK)
+    stack.absorb_update(2, 0, factory.zero(BLOCK), written)
+    # Shards 0,1,3,4 were never written; recover shard 2 from parity alone.
+    rebuilt = stack.reconstruct_block(0, {}, missing_shards=[2])
+    assert rebuilt[2] == written
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    parity_count=st.integers(min_value=1, max_value=3),
+    updates=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_stack_recovers_after_random_updates(parity_count, updates, seed):
+    """After arbitrary update sequences, any single superchunk (and up to
+    ``parity_count`` of them) is reconstructible."""
+    import random
+
+    rng = random.Random(seed)
+    data_shards = 5
+    _sim, factory, stack = make_stack(parity_count=parity_count, data_shards=data_shards)
+    current = {s: factory.zero(BLOCK) for s in range(data_shards)}
+    for version in range(1, updates + 1):
+        shard = rng.randrange(data_shards)
+        new = factory.make(f"s{shard}", version, BLOCK)
+        stack.absorb_update(shard, 0, current[shard], new)
+        current[shard] = new
+    missing = rng.sample(range(data_shards), k=min(parity_count, data_shards))
+    survivors = {s: p for s, p in current.items() if s not in missing}
+    rebuilt = stack.reconstruct_block(0, survivors, missing_shards=list(missing))
+    for shard in missing:
+        assert rebuilt[shard] == current[shard]

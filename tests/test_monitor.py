@@ -1,0 +1,141 @@
+"""Tests for heartbeat monitoring and automatic recovery."""
+
+import pytest
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.monitor import ClusterMonitor, MonitorConfig
+from repro.hdfs.config import DfsConfig
+from repro.sim.cluster import ClusterSpec
+
+
+def cluster(num_nodes=8, per_disk=3, payload_mode="bytes"):
+    return RaidpCluster(
+        spec=ClusterSpec(num_nodes=num_nodes),
+        config=DfsConfig(block_size=units.MiB, replication=2),
+        superchunk_size=4 * units.MiB,
+        superchunks_per_disk=per_disk,
+        payload_mode=payload_mode,
+    )
+
+
+def write_data(dfs, files=6):
+    def body():
+        procs = [
+            dfs.sim.process(dfs.clients[i % len(dfs.clients)].write_file(f"/f{i}", 3 * units.MiB))
+            for i in range(files)
+        ]
+        yield dfs.sim.all_of(procs)
+
+    dfs.sim.run_process(body())
+
+
+def run_monitored(dfs, monitor, scenario_body, horizon=120.0):
+    """Start the monitor, run a scenario process, stop, drain."""
+    monitor.start()
+    done = dfs.sim.process(scenario_body, name="scenario")
+    dfs.sim.run(until=horizon)
+    assert done.triggered
+    monitor.stop()
+    dfs.sim.run()
+    return done.value
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MonitorConfig(heartbeat_interval=0)
+    with pytest.raises(ValueError):
+        MonitorConfig(heartbeat_interval=5.0, dead_after=1.0)
+
+
+def test_heartbeats_keep_healthy_nodes_fresh():
+    dfs = cluster(payload_mode="tokens")
+    monitor = ClusterMonitor(dfs)
+
+    def scenario():
+        yield dfs.sim.timeout(30.0)
+
+    run_monitored(dfs, monitor, scenario())
+    for datanode in dfs.datanodes:
+        assert monitor.last_heartbeat(datanode.name) > 20.0
+    assert monitor.detected == []
+
+
+def test_single_disk_failure_is_detected_and_recovered():
+    dfs = cluster()
+    write_data(dfs)
+    monitor = ClusterMonitor(dfs)
+    victim = dfs.datanodes[0]
+
+    def scenario():
+        yield dfs.sim.timeout(5.0)
+        victim.disk.fail()
+        yield dfs.sim.timeout(60.0)
+
+    run_monitored(dfs, monitor, scenario())
+    assert any(victim.name in names for _t, names in monitor.detected)
+    assert monitor.reports, "no recovery ran"
+    assert dfs.layout.is_fully_mirrored
+    dfs.verify_mirrors()
+    dfs.verify_parity()
+    # Detection respects the staleness bound.
+    detect_time = monitor.detected[0][0]
+    assert detect_time >= 5.0 + monitor.config.dead_after - monitor.config.heartbeat_interval
+
+
+def test_double_failure_triggers_lstor_reconstruction():
+    dfs = cluster()
+    write_data(dfs, files=8)
+    a, b = next(
+        (x, y)
+        for x in dfs.layout.disks
+        for y in dfs.layout.disks
+        if x < y and dfs.layout.shared(x, y) is not None
+    )
+    monitor = ClusterMonitor(dfs)
+
+    def scenario():
+        yield dfs.sim.timeout(5.0)
+        dfs.datanode_by_name(a).disk.fail()
+        dfs.datanode_by_name(b).disk.fail()
+        yield dfs.sim.timeout(90.0)
+
+    run_monitored(dfs, monitor, scenario(), horizon=200.0)
+    reconstructed = [r for r in monitor.reports if r.reconstructed_sc is not None]
+    assert reconstructed, "the shared superchunk was not reconstructed"
+    assert dfs.layout.is_fully_mirrored
+    dfs.verify_mirrors()
+    dfs.verify_parity()
+
+
+def test_non_sharing_double_failure_runs_two_singles():
+    dfs = cluster(num_nodes=9, per_disk=2, payload_mode="tokens")
+    write_data(dfs, files=4)
+    pair = next(
+        (x, y)
+        for x in dfs.layout.disks
+        for y in dfs.layout.disks
+        if x < y and dfs.layout.shared(x, y) is None
+    )
+    monitor = ClusterMonitor(dfs)
+
+    def scenario():
+        yield dfs.sim.timeout(5.0)
+        for name in pair:
+            dfs.datanode_by_name(name).disk.fail()
+        yield dfs.sim.timeout(90.0)
+
+    run_monitored(dfs, monitor, scenario(), horizon=200.0)
+    assert len(monitor.reports) == 2
+    assert all(r.reconstructed_sc is None for r in monitor.reports)
+    dfs.verify_mirrors()
+
+
+def test_stop_lets_simulation_drain():
+    dfs = cluster(payload_mode="tokens")
+    monitor = ClusterMonitor(dfs)
+    monitor.start()
+    dfs.sim.run(until=10.0)
+    monitor.stop()
+    dfs.sim.run()  # must terminate without DeadlockError
+    assert not dfs.sim._heap

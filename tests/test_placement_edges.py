@@ -1,0 +1,116 @@
+"""Edge-case tests for placement policies and the superchunk map."""
+
+import pytest
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.layout import Layout, LayoutSpec, rotational_layout
+from repro.core.placement import RaidpPlacement, SuperchunkMap
+from repro.errors import CapacityError, PlacementError
+from repro.hdfs.block import Block
+from repro.hdfs.config import DfsConfig
+from repro.sim.cluster import ClusterSpec
+
+SPEC = LayoutSpec(superchunk_size=2 * units.MiB, block_size=units.MiB)
+
+
+class FakeDn:
+    def __init__(self, name, alive=True):
+        self.name = name
+        self.alive = alive
+
+
+def make_placement(num_disks=4):
+    layout = rotational_layout(num_disks, spec=SPEC)
+    sc_map = SuperchunkMap(layout)
+    return layout, sc_map, RaidpPlacement(layout, sc_map)
+
+
+def block(block_id=0, size=units.MiB):
+    return Block(block_id=block_id, path="/f", index=0, size=size)
+
+
+def test_superchunk_map_slot_lifecycle():
+    layout, sc_map, _ = make_placement()
+    sc_id = next(iter(layout.superchunks))
+    assert sc_map.free_slots(sc_id) == 2
+    first = sc_map.allocate_slot(sc_id, "blk_a")
+    second = sc_map.allocate_slot(sc_id, "blk_b")
+    assert (first, second) == (0, 1)
+    with pytest.raises(CapacityError):
+        sc_map.allocate_slot(sc_id, "blk_c")
+    sc_map.release_slot(sc_id, first)
+    assert sc_map.allocate_slot(sc_id, "blk_c") == 0  # lowest free slot
+    assert sc_map.block_at(sc_id, 0) == "blk_c"
+    assert sc_map.blocks_in(sc_id) == {0: "blk_c", 1: "blk_b"}
+
+
+def test_placement_needs_a_live_pair():
+    layout, _sc_map, placement = make_placement()
+    datanodes = [FakeDn(d, alive=(d == "d0")) for d in layout.disks]
+    with pytest.raises(PlacementError):
+        placement.choose_targets(block(), None, datanodes)
+
+
+def test_placement_fills_cluster_to_capacity_then_fails():
+    layout, sc_map, placement = make_placement(num_disks=3)
+    datanodes = [FakeDn(d) for d in layout.disks]
+    total_slots = len(layout.superchunks) * sc_map.slots_per_superchunk
+    for index in range(total_slots):
+        placement.choose_targets(block(index), None, datanodes)
+    with pytest.raises(PlacementError):
+        placement.choose_targets(block(999), None, datanodes)
+
+
+def test_placement_release_returns_slot():
+    layout, sc_map, placement = make_placement()
+    datanodes = [FakeDn(d) for d in layout.disks]
+    locations = placement.choose_targets(block(1), None, datanodes)
+    used_before = sc_map.used_slots(locations.sc_id)
+    placement.release(locations)
+    assert sc_map.used_slots(locations.sc_id) == used_before - 1
+
+
+def test_placement_balances_disk_load():
+    layout, sc_map, placement = make_placement(num_disks=6)
+    datanodes = [FakeDn(d) for d in layout.disks]
+    for index in range(12):
+        placement.choose_targets(block(index), None, datanodes)
+    loads = [sc_map.load_of_disk(d) for d in layout.disks]
+    assert max(loads) - min(loads) <= 1
+
+
+def test_raidp_cluster_rejects_oversize_block():
+    from repro.errors import DfsError
+
+    dfs = RaidpCluster(
+        spec=ClusterSpec(num_nodes=4),
+        config=DfsConfig(block_size=units.MiB, replication=2),
+        superchunk_size=4 * units.MiB,
+        payload_mode="tokens",
+    )
+    with pytest.raises(DfsError):
+        dfs.namenode.allocate_block("/missing", 2 * units.MiB)
+
+
+def test_namenode_rejects_duplicate_datanode_registration():
+    from repro.errors import DfsError
+
+    dfs = RaidpCluster(
+        spec=ClusterSpec(num_nodes=4),
+        config=DfsConfig(block_size=units.MiB, replication=2),
+        superchunk_size=4 * units.MiB,
+        payload_mode="tokens",
+    )
+    with pytest.raises(DfsError):
+        dfs.namenode.register_datanode(dfs.datanodes[0])
+
+
+def test_layout_render_rows_align_with_slots():
+    layout = Layout(["a", "b", "c"], SPEC)
+    layout.add_superchunk("a", "b")
+    layout.add_superchunk("b", "c")
+    art = layout.render()
+    lines = art.splitlines()
+    assert lines[0].split() == ["a", "b", "c"]
+    assert len(lines) == 3  # header + two slot rows (disk b holds 2)

@@ -1,0 +1,224 @@
+"""Integration tests for failure recovery (paper §3.3 and §6.4).
+
+The clusters here use sparse layouts (fewer superchunks per disk than the
+N-1 maximum) so that legal re-mirroring targets exist after failures --
+exactly the headroom the paper says recovery depends on.
+"""
+
+import pytest
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.node import RaidpConfig
+from repro.core.recovery import RecoveryManager, RecoveryOptions
+from repro.errors import RecoveryError
+from repro.hdfs.config import DfsConfig
+from repro.sim.cluster import ClusterSpec
+
+
+def sparse_cluster(num_nodes=8, per_disk=3, payload_mode="bytes", **raidp_kwargs):
+    """A RaidpCluster whose layout leaves re-mirroring headroom."""
+    config = DfsConfig(block_size=units.MiB, replication=2)
+    return RaidpCluster(
+        spec=ClusterSpec(num_nodes=num_nodes),
+        config=config,
+        raidp=RaidpConfig(**raidp_kwargs),
+        superchunk_size=4 * units.MiB,
+        superchunks_per_disk=per_disk,
+        payload_mode=payload_mode,
+    )
+
+
+def write_some_data(dfs, files=4, size=3 * units.MiB):
+    def body():
+        procs = [
+            dfs.sim.process(dfs.clients[i % len(dfs.clients)].write_file(f"/f{i}", size))
+            for i in range(files)
+        ]
+        yield dfs.sim.all_of(procs)
+
+    dfs.sim.run_process(body())
+
+
+# ----------------------------------------------------------------------
+# Single failure.
+# ----------------------------------------------------------------------
+def test_single_failure_plan_is_legal():
+    dfs = sparse_cluster()
+    write_some_data(dfs)
+    manager = RecoveryManager(dfs)
+    victim = dfs.datanodes[0].name
+    dfs.namenode.mark_datanode_dead(victim)
+    orphans = {sc.sc_id for sc in dfs.layout.remove_disk(victim)}
+    plan = manager.plan_single_failure(victim)
+    assert {sc for sc, _s, _r in plan} == orphans
+    receivers = [r for _sc, _s, r in plan]
+    assert len(set(receivers)) == len(receivers)  # parallelism: one each
+    for sc, sender, receiver in plan:
+        assert dfs.layout.shared(sender, receiver) is None
+
+
+def test_single_failure_recovery_restores_mirroring():
+    dfs = sparse_cluster()
+    write_some_data(dfs)
+    manager = RecoveryManager(dfs)
+    victim = dfs.datanodes[2].name
+    report = manager.recover_single_failure(victim)
+    assert dfs.layout.is_fully_mirrored
+    dfs.layout.verify()
+    dfs.verify_mirrors()
+    dfs.verify_parity()
+    assert report.duration > 0 or not report.remirrored
+
+
+def test_single_failure_restores_replica_counts():
+    dfs = sparse_cluster()
+    write_some_data(dfs)
+    manager = RecoveryManager(dfs)
+    victim = dfs.datanodes[1].name
+    manager.recover_single_failure(victim)
+    for locations in dfs.namenode.all_blocks():
+        live = [
+            n for n in locations.datanodes if dfs.namenode.datanode(n).alive
+        ]
+        assert len(live) >= 2, f"{locations.block.name} under-replicated"
+
+
+def test_greedy_and_hungarian_planners_both_work():
+    durations = {}
+    for planner in ("greedy", "hungarian"):
+        dfs = sparse_cluster(payload_mode="tokens")
+        write_some_data(dfs)
+        manager = RecoveryManager(dfs)
+        options = RecoveryOptions(planner=planner)
+        report = manager.recover_single_failure(dfs.datanodes[0].name, options)
+        assert dfs.layout.is_fully_mirrored
+        durations[planner] = report.duration
+    assert set(durations) == {"greedy", "hungarian"}
+
+
+def test_hungarian_balances_load_at_least_as_well_as_greedy():
+    loads = {}
+    for planner in ("greedy", "hungarian"):
+        dfs = sparse_cluster(payload_mode="tokens")
+        write_some_data(dfs, files=8)
+        manager = RecoveryManager(dfs)
+        manager.recover_single_failure(
+            dfs.datanodes[0].name, RecoveryOptions(planner=planner)
+        )
+        per_disk = [
+            dfs.map.load_of_disk(dn.name) for dn in dfs.datanodes if dn.alive
+        ]
+        loads[planner] = max(per_disk) - min(per_disk)
+    assert loads["hungarian"] <= loads["greedy"] + 1
+
+
+# ----------------------------------------------------------------------
+# Double failure.
+# ----------------------------------------------------------------------
+def pick_sharing_pair(dfs):
+    for a in dfs.layout.disks:
+        for b in dfs.layout.disks:
+            if a < b and dfs.layout.shared(a, b) is not None:
+                return a, b
+    raise AssertionError("no sharing pair in layout")
+
+
+def test_double_failure_reconstructs_lost_superchunk_bit_exact():
+    dfs = sparse_cluster(num_nodes=8, per_disk=3, payload_mode="bytes")
+    write_some_data(dfs, files=10, size=4 * units.MiB)
+    a, b = pick_sharing_pair(dfs)
+    shared = dfs.layout.shared(a, b)
+    # Remember the content that only lives on the shared superchunk.
+    lost_blocks = {}
+    for slot, name in dfs.map.blocks_in(shared).items():
+        datanode = dfs.datanode_by_name(a)
+        if datanode.has_block(name):
+            lost_blocks[name] = datanode.content_of(name)
+    manager = RecoveryManager(dfs)
+    report = manager.recover_double_failure(a, b)
+    assert report.reconstructed_sc == shared
+    for name, original in lost_blocks.items():
+        locations = next(
+            loc for loc in dfs.namenode.all_blocks() if loc.block.name == name
+        )
+        live = [n for n in locations.datanodes if dfs.namenode.datanode(n).alive]
+        assert len(live) >= 2
+        for node_name in live:
+            recovered = dfs.datanode_by_name(node_name).content_of(name)
+            assert recovered == original, f"bit rot in {name} on {node_name}"
+
+
+def test_double_failure_restores_full_mirroring_and_parity():
+    dfs = sparse_cluster(num_nodes=8, per_disk=3, payload_mode="bytes")
+    write_some_data(dfs, files=8)
+    a, b = pick_sharing_pair(dfs)
+    manager = RecoveryManager(dfs)
+    manager.recover_double_failure(a, b)
+    dfs.layout.verify()
+    assert dfs.layout.is_fully_mirrored
+    dfs.verify_mirrors()
+    dfs.verify_parity()
+
+
+def test_double_failure_without_shared_superchunk():
+    dfs = sparse_cluster(num_nodes=9, per_disk=2, payload_mode="tokens")
+    write_some_data(dfs, files=4)
+    non_sharing = None
+    for a in dfs.layout.disks:
+        for b in dfs.layout.disks:
+            if a < b and dfs.layout.shared(a, b) is None:
+                non_sharing = (a, b)
+                break
+        if non_sharing:
+            break
+    assert non_sharing, "expected a non-sharing pair in a sparse layout"
+    manager = RecoveryManager(dfs)
+    report = manager.recover_double_failure(*non_sharing)
+    assert report.reconstructed_sc is None
+    dfs.verify_mirrors()
+
+
+def test_double_failure_uses_other_lstor_when_first_failed():
+    dfs = sparse_cluster(num_nodes=8, per_disk=3, payload_mode="bytes")
+    write_some_data(dfs, files=8)
+    a, b = pick_sharing_pair(dfs)
+    dfs.datanode_by_name(a).lstors.primary.fail()
+    manager = RecoveryManager(dfs)
+    report = manager.recover_double_failure(a, b)
+    assert report.reconstructed_sc is not None
+    dfs.verify_mirrors()
+
+
+def test_double_failure_with_both_lstors_dead_is_data_loss():
+    from repro.errors import DataLossError
+
+    dfs = sparse_cluster(num_nodes=8, per_disk=3, payload_mode="bytes")
+    write_some_data(dfs, files=8)
+    a, b = pick_sharing_pair(dfs)
+    dfs.datanode_by_name(a).lstors.primary.fail()
+    dfs.datanode_by_name(b).lstors.primary.fail()
+    manager = RecoveryManager(dfs)
+    with pytest.raises(DataLossError):
+        manager.recover_double_failure(a, b)
+
+
+def test_reconstruction_lock_modes_and_chunk_sizes_run():
+    for lock_mode in ("byte_range", "superchunk"):
+        for chunk in (units.MiB, 2 * units.MiB):
+            dfs = sparse_cluster(num_nodes=8, per_disk=3, payload_mode="tokens")
+            write_some_data(dfs, files=6)
+            a, b = pick_sharing_pair(dfs)
+            manager = RecoveryManager(dfs)
+            options = RecoveryOptions(lock_mode=lock_mode, chunk_size=chunk)
+            report = manager.recover_double_failure(a, b, options=options)
+            assert report.duration > 0
+
+
+def test_recovery_options_validation():
+    with pytest.raises(ValueError):
+        RecoveryOptions(lock_mode="rcu")
+    with pytest.raises(ValueError):
+        RecoveryOptions(planner="oracle")
+    with pytest.raises(ValueError):
+        RecoveryOptions(chunk_size=0)

@@ -1,0 +1,207 @@
+"""Unit tests for the hard-drive timing model."""
+
+import pytest
+
+from repro import units
+from repro.errors import DiskFailedError
+from repro.sim.disk import Disk, DiskGeometry
+from repro.sim.engine import Simulator
+
+
+def make_disk(sim, **overrides):
+    geometry = DiskGeometry(**overrides) if overrides else DiskGeometry()
+    return Disk(sim, geometry, name="d0")
+
+
+def test_sequential_io_pays_only_transfer_time():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def body():
+        first = yield from disk.write(0, 64 * units.MiB)
+        second = yield from disk.write(64 * units.MiB, 64 * units.MiB)
+        return first, second
+
+    first, second = sim.run_process(body())
+    expected = 64 * units.MiB / disk.geometry.transfer_rate
+    assert first == pytest.approx(expected)
+    # The second write starts at the head position: no seek at all.
+    assert second == pytest.approx(expected)
+    assert disk.stats.seeks == 0
+
+
+def test_random_io_pays_seek_and_rotation():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def body():
+        yield from disk.write(0, units.MiB)
+        far = disk.geometry.capacity // 2
+        duration = yield from disk.write(far, units.MiB)
+        return duration
+
+    duration = sim.run_process(body())
+    transfer = units.MiB / disk.geometry.transfer_rate
+    assert duration > transfer + disk.geometry.rotational_latency
+    assert disk.stats.seeks == 1
+    assert disk.stats.seek_seconds > 0
+
+
+def test_near_seek_is_cheap():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def body():
+        yield from disk.write(0, units.MiB)
+        # Hop backward by less than the near threshold.
+        duration = yield from disk.write(512 * units.KiB, units.MiB)
+        return duration
+
+    duration = sim.run_process(body())
+    transfer = units.MiB / disk.geometry.transfer_rate
+    assert duration == pytest.approx(transfer + disk.geometry.seek_min)
+
+
+def test_seek_time_monotone_in_distance():
+    geometry = DiskGeometry()
+    distances = [4 * units.MiB, units.GiB, 100 * units.GiB, geometry.capacity]
+    times = [geometry.seek_time(d) for d in distances]
+    assert times == sorted(times)
+    assert times[-1] == pytest.approx(geometry.seek_full)
+
+
+def test_io_serializes_through_fifo_queue():
+    sim = Simulator()
+    disk = make_disk(sim)
+    finish = []
+
+    def body(offset):
+        yield from disk.write(offset, 64 * units.MiB)
+        finish.append(sim.now)
+
+    sim.process(body(0))
+    sim.process(body(units.GiB))
+    sim.run()
+    # The second I/O cannot start before the first finished.
+    assert finish[1] > finish[0]
+
+
+def test_interleaved_writers_ping_pong_head():
+    """Two concurrent writers at distant offsets cause a seek per I/O."""
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def writer(base):
+        for i in range(4):
+            yield from disk.write(base + i * units.MiB, units.MiB)
+
+    sim.process(writer(0))
+    sim.process(writer(500 * units.GiB))
+    sim.run()
+    # FIFO alternation: every I/O after the first jumps across the disk.
+    assert disk.stats.seeks >= 6
+
+
+def test_failed_disk_raises():
+    sim = Simulator()
+    disk = make_disk(sim)
+    disk.fail()
+
+    def body():
+        yield from disk.read(0, units.KiB)
+
+    sim.process(body())
+    with pytest.raises(DiskFailedError):
+        sim.run()
+
+
+def test_failure_mid_queue_kills_waiting_io():
+    sim = Simulator()
+    disk = make_disk(sim)
+    outcomes = []
+
+    def long_writer():
+        yield from disk.write(0, units.GiB)
+        outcomes.append("long-done")
+
+    def failer():
+        yield sim.timeout(0.001)
+        disk.fail()
+        outcomes.append("failed")
+
+    def late_writer():
+        yield sim.timeout(0.002)
+        try:
+            yield from disk.write(units.GiB, units.MiB)
+        except DiskFailedError:
+            outcomes.append("late-error")
+
+    sim.process(long_writer())
+    sim.process(failer())
+    proc = sim.process(late_writer())
+    with pytest.raises(DiskFailedError):
+        # The long writer itself dies when the disk fails under it.
+        sim.run()
+    assert "late-error" in outcomes or not proc.is_alive
+
+
+def test_out_of_range_io_rejected():
+    sim = Simulator()
+    disk = make_disk(sim, capacity=units.GiB)
+
+    def body():
+        yield from disk.write(units.GiB, 1)
+
+    sim.process(body())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def body():
+        yield from disk.write(0, 10 * units.MiB)
+        yield from disk.read(0, 10 * units.MiB)
+        yield from disk.sync()
+
+    sim.run_process(body())
+    assert disk.stats.reads == 1
+    assert disk.stats.writes == 1
+    assert disk.stats.bytes_read == 10 * units.MiB
+    assert disk.stats.bytes_written == 10 * units.MiB
+    assert disk.stats.syncs == 1
+    assert disk.stats.busy_seconds > 0
+    snap = disk.stats.snapshot()
+    assert snap.ios == 2
+    assert snap.bytes_total == 20 * units.MiB
+
+
+def test_estimate_matches_charge():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def body():
+        yield from disk.write(0, units.MiB)
+        offset = 700 * units.GiB
+        estimate = disk.estimate(offset, units.MiB)
+        actual = yield from disk.write(offset, units.MiB)
+        return estimate, actual
+
+    estimate, actual = sim.run_process(body())
+    assert estimate == pytest.approx(actual)
+
+
+def test_repair_resets_head_and_clears_failure():
+    sim = Simulator()
+    disk = make_disk(sim)
+    disk.fail()
+    disk.repair()
+
+    def body():
+        duration = yield from disk.write(0, units.MiB)
+        return duration
+
+    assert sim.run_process(body()) > 0
+    assert not disk.failed

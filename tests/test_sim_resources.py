@@ -1,0 +1,205 @@
+"""Unit tests for resources, locks, and byte-range locks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import ByteRangeLock, Lock, Resource, with_resource
+
+
+def test_resource_serializes_beyond_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    finish_times = []
+
+    def body():
+        grant = yield resource.request()
+        yield sim.timeout(1.0)
+        resource.release(grant)
+        finish_times.append(sim.now)
+
+    for _ in range(4):
+        sim.process(body())
+    sim.run()
+    # Two run in [0,1], two wait and run in [1,2].
+    assert finish_times == [1.0, 1.0, 2.0, 2.0]
+    assert resource.total_waits == 2
+    assert resource.total_grants == 4
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def body(tag):
+        grant = yield resource.request()
+        order.append(tag)
+        yield sim.timeout(1.0)
+        resource.release(grant)
+
+    for tag in ("a", "b", "c"):
+        sim.process(body(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_twice_is_error():
+    sim = Simulator()
+    resource = Resource(sim)
+
+    def body():
+        grant = yield resource.request()
+        resource.release(grant)
+        resource.release(grant)
+
+    sim.process(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_release_to_wrong_resource_is_error():
+    sim = Simulator()
+    first = Resource(sim)
+    second = Resource(sim)
+
+    def body():
+        grant = yield first.request()
+        second.release(grant)
+
+    sim.process(body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_lock_reports_locked_state():
+    sim = Simulator()
+    lock = Lock(sim)
+    states = []
+
+    def body():
+        grant = yield lock.request()
+        states.append(lock.locked())
+        yield sim.timeout(1.0)
+        lock.release(grant)
+        states.append(lock.locked())
+
+    sim.process(body())
+    sim.run()
+    assert states == [True, False]
+
+
+def test_with_resource_helper_releases_on_success():
+    sim = Simulator()
+    resource = Resource(sim)
+
+    def inner():
+        yield sim.timeout(1.0)
+        return "ok"
+
+    def body():
+        value = yield from with_resource(resource, inner())
+        return value
+
+    assert sim.run_process(body()) == "ok"
+    assert resource.in_use == 0
+
+
+def test_with_resource_helper_releases_on_error():
+    sim = Simulator()
+    resource = Resource(sim)
+
+    def inner():
+        yield sim.timeout(1.0)
+        raise RuntimeError("inner failure")
+
+    def body():
+        try:
+            yield from with_resource(resource, inner())
+        except RuntimeError:
+            pass
+        return resource.in_use
+
+    assert sim.run_process(body()) == 0
+
+
+def test_byte_range_lock_disjoint_ranges_run_concurrently():
+    sim = Simulator()
+    lock = ByteRangeLock(sim)
+    finish_times = []
+
+    def body(start, end):
+        grant = yield lock.acquire(start, end)
+        yield sim.timeout(1.0)
+        lock.release(grant)
+        finish_times.append(sim.now)
+
+    sim.process(body(0, 100))
+    sim.process(body(100, 200))
+    sim.process(body(200, 300))
+    sim.run()
+    assert finish_times == [1.0, 1.0, 1.0]
+
+
+def test_byte_range_lock_overlapping_ranges_serialize():
+    sim = Simulator()
+    lock = ByteRangeLock(sim)
+    finish_times = []
+
+    def body(start, end):
+        grant = yield lock.acquire(start, end)
+        yield sim.timeout(1.0)
+        lock.release(grant)
+        finish_times.append(sim.now)
+
+    sim.process(body(0, 100))
+    sim.process(body(50, 150))
+    sim.run()
+    assert finish_times == [1.0, 2.0]
+
+
+def test_byte_range_lock_fifo_no_starvation():
+    sim = Simulator()
+    lock = ByteRangeLock(sim)
+    order = []
+
+    def holder():
+        grant = yield lock.acquire(0, 100)
+        yield sim.timeout(1.0)
+        lock.release(grant)
+        order.append("holder")
+
+    def wide():
+        yield sim.timeout(0.1)
+        grant = yield lock.acquire(0, 1000)
+        order.append("wide")
+        yield sim.timeout(1.0)
+        lock.release(grant)
+
+    def late_small():
+        # Arrives after the wide waiter; overlaps it, so it must queue
+        # behind it even though [500, 600) is free right now.
+        yield sim.timeout(0.2)
+        grant = yield lock.acquire(500, 600)
+        order.append("small")
+        lock.release(grant)
+
+    sim.process(holder())
+    sim.process(wide())
+    sim.process(late_small())
+    sim.run()
+    assert order == ["holder", "wide", "small"]
+
+
+def test_byte_range_lock_release_unheld_is_error():
+    sim = Simulator()
+    lock = ByteRangeLock(sim)
+    with pytest.raises(SimulationError):
+        lock.release((0, 10))
+
+
+def test_byte_range_lock_rejects_empty_range():
+    sim = Simulator()
+    lock = ByteRangeLock(sim)
+    with pytest.raises(ValueError):
+        lock.acquire(10, 10)

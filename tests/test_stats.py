@@ -1,0 +1,66 @@
+"""Unit tests for the measurement helpers."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, MetricSet, TimeWeightedGauge, mean
+
+
+def test_counter_increases_only():
+    counter = Counter()
+    counter.add()
+    counter.add(5)
+    assert counter.value == 6
+    with pytest.raises(ValueError):
+        counter.add(-1)
+
+
+def test_time_weighted_gauge_average():
+    gauge = TimeWeightedGauge(start_time=0.0)
+    gauge.set(2.0, now=1.0)  # value 0 held for [0, 1)
+    gauge.set(4.0, now=3.0)  # value 2 held for [1, 3)
+    # At t=4: areas 0*1 + 2*2 + 4*1 = 8 over 4 seconds.
+    assert gauge.average(4.0) == pytest.approx(2.0)
+    assert gauge.max_value == 4.0
+    assert gauge.current == 4.0
+
+
+def test_gauge_adjust_and_monotone_time():
+    gauge = TimeWeightedGauge()
+    gauge.adjust(+1, now=1.0)
+    gauge.adjust(+1, now=2.0)
+    gauge.adjust(-2, now=3.0)
+    assert gauge.current == 0
+    with pytest.raises(ValueError):
+        gauge.set(1.0, now=0.5)
+
+
+def test_gauge_average_at_start_time():
+    gauge = TimeWeightedGauge(start_time=5.0, initial=3.0)
+    assert gauge.average(5.0) == 3.0
+
+
+def test_histogram_buckets_and_mean():
+    hist = Histogram(bounds=(1.0, 10.0))
+    for sample in (0.5, 5.0, 50.0, 0.1):
+        hist.observe(sample)
+    assert hist.counts == [2, 1, 1]
+    assert hist.total == 4
+    assert hist.mean == pytest.approx((0.5 + 5.0 + 50.0 + 0.1) / 4)
+    assert hist.max == 50.0
+
+
+def test_metric_set_counters_and_merge():
+    metrics = MetricSet()
+    metrics.add("reads", 3)
+    metrics.add("writes")
+    other = MetricSet()
+    other.add("reads", 2)
+    metrics.merge(other)
+    assert metrics.get("reads") == 5
+    assert metrics.get("missing") == 0
+    assert metrics.as_dict() == {"reads": 5, "writes": 1}
+
+
+def test_mean_helper():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert mean([]) == 0.0
