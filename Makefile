@@ -1,0 +1,32 @@
+# Developer entry points.  `make verify` is what CI runs.
+
+PYTHON     ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test bench bench-kernels verify experiments clean
+
+# Tier-1: the full unit/integration/property suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full pytest-benchmark harness (slow; asserts every figure/table shape).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast kernel-only perf probe (no experiments).
+bench-kernels:
+	$(PYTHON) -m repro.tools.bench --kernels-only --output /dev/null
+
+# Tier-1 tests + the smoke-scale perf report.  Regenerates BENCH_sim.json
+# so perf changes show up as a diff in review.
+verify: test
+	$(PYTHON) -m repro.tools.bench --compare-jobs 1,4
+
+# Regenerate every table/figure of the paper (uses all cores).
+experiments:
+	$(PYTHON) -m repro.experiments all --full --jobs 0
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks

@@ -5,13 +5,20 @@ Each benchmark file regenerates one of the paper's tables or figures via
 asserts the *shape* of the result: orderings, approximate ratios, and
 crossovers.  Absolute simulated seconds are not compared to the paper's
 testbed seconds.
+
+The experiment regenerations honour the same process fan-out as the CLI:
+set ``RAIDP_JOBS=N`` to run each figure's independent sweep points on N
+worker processes (results are bit-identical at any job count).
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict
 
 import pytest
+
+from repro.experiments.parallel import resolve_jobs
 
 
 def rows_by_label(result) -> Dict[str, float]:
@@ -19,11 +26,23 @@ def rows_by_label(result) -> Dict[str, float]:
     return {label: measured for label, measured, _paper in result.rows}
 
 
+@pytest.fixture(scope="session")
+def experiment_jobs() -> int:
+    """Worker-process fan-out for experiment regeneration (``RAIDP_JOBS``)."""
+    return resolve_jobs(None)
+
+
 @pytest.fixture
-def run_once():
-    """Run an experiment exactly once under the benchmark timer."""
+def run_once(experiment_jobs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiments that support process fan-out (a ``jobs`` parameter)
+    automatically inherit the session's ``RAIDP_JOBS`` setting.
+    """
 
     def runner(benchmark, experiment_fn, **kwargs):
+        if "jobs" in inspect.signature(experiment_fn).parameters:
+            kwargs.setdefault("jobs", experiment_jobs)
         return benchmark.pedantic(
             lambda: experiment_fn(**kwargs), rounds=1, iterations=1
         )

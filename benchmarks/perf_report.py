@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Standalone perf-report entry point.
+
+Thin wrapper over :mod:`repro.tools.bench` so the harness can be run
+straight from a checkout::
+
+    python benchmarks/perf_report.py --compare-jobs 1,4
+
+Equivalent to ``python -m repro.tools.bench`` with ``src/`` on the path.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.tools.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from repro.ec.reed_solomon import ReedSolomon
 from repro.matching.hungarian import hungarian
 from repro.matching.hopcroft_karp import hopcroft_karp
 from repro.sim.engine import Simulator
+from repro.storage.payload import BytesPayload
 
 
 def test_bench_gf256_addmul(benchmark):
@@ -52,6 +53,33 @@ def test_bench_raid6_double_recovery(benchmark):
     assert np.array_equal(d5, data[5])
 
 
+def test_bench_payload_xor_allocating(benchmark):
+    """The old path: every XOR allocates a fresh payload."""
+    rng = np.random.default_rng(21)
+    a = BytesPayload(rng.integers(0, 256, size=units.MiB, dtype=np.uint8))
+    b = BytesPayload(rng.integers(0, 256, size=units.MiB, dtype=np.uint8))
+    result = benchmark(a.xor, b)
+    assert len(result) == units.MiB
+
+
+def test_bench_payload_xor_into(benchmark):
+    """The copy-free accumulator path used by Lstor.absorb and recovery."""
+    rng = np.random.default_rng(22)
+    a = BytesPayload(rng.integers(0, 256, size=units.MiB, dtype=np.uint8))
+    b = BytesPayload(rng.integers(0, 256, size=units.MiB, dtype=np.uint8))
+    buf = a.mutable_copy()
+    benchmark(b.xor_into, buf)
+    assert len(buf) == units.MiB
+
+
+def test_bench_payload_checksum_cached(benchmark):
+    rng = np.random.default_rng(23)
+    payload = BytesPayload(rng.integers(0, 256, size=units.MiB, dtype=np.uint8))
+    payload.checksum()  # prime the cache; the benchmark measures hits
+    crc = benchmark(payload.checksum)
+    assert crc == payload.checksum()
+
+
 def test_bench_sim_engine_event_throughput(benchmark):
     def run_events():
         sim = Simulator()
@@ -66,6 +94,30 @@ def test_bench_sim_engine_event_throughput(benchmark):
 
     result = benchmark.pedantic(run_events, rounds=3, iterations=1)
     assert result == pytest.approx(10.0)
+
+
+def test_bench_sim_engine_process_churn(benchmark):
+    """Spawn-heavy pattern: many short-lived processes with one waiter
+    each, exercising the deferred-bootstrap and single-callback fast
+    paths."""
+
+    def run_procs():
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(0.5)
+            return 1
+
+        def parent():
+            total = 0
+            for _ in range(2_000):
+                total += yield sim.process(child())
+            return total
+
+        return sim.run_process(parent())
+
+    result = benchmark.pedantic(run_procs, rounds=3, iterations=1)
+    assert result == 2_000
 
 
 def test_bench_hungarian_50x50(benchmark):

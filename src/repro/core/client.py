@@ -20,6 +20,7 @@ from repro.core.placement import SuperchunkMap
 from repro.errors import BlockMissingError
 from repro.hdfs.block import BlockLocations
 from repro.hdfs.client import DfsClient
+from repro.storage.payload import XorAccumulator
 
 
 class RaidpClient(DfsClient):
@@ -50,7 +51,7 @@ class RaidpClient(DfsClient):
             )
         source = self._pick_parity_source(sc_id)
         # Parity block ships from the failed disk's (alive) node.
-        accum = source.lstors.primary.parity_block(slot)
+        accum = XorAccumulator(source.lstors.primary.parity_block(slot))
         yield self.switch.transfer(
             source.node.primary_nic, self.node.primary_nic, block.size
         )
@@ -72,14 +73,14 @@ class RaidpClient(DfsClient):
             yield self.switch.transfer(
                 mirror.node.primary_nic, self.node.primary_nic, block.size
             )
-            accum = accum.xor(payload)
+            accum.add(payload)
         # The XOR chain is a CPU pass on the client.
         yield from self.node.compute_bytes(
             block.size * max(len(self.layout.superchunks_of(source.name)), 1),
             intensity=0.2,
         )
         self.stats_degraded_reads += 1
-        return accum
+        return accum.result()
 
     def _pick_parity_source(self, sc_id: int) -> RaidpDataNode:
         """A home of the lost superchunk whose node and Lstor survive."""

@@ -25,12 +25,19 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
+import numpy as np
+
 from repro import units
 from repro.core.journal import Journal
 from repro.ec.reed_solomon import ReedSolomon
 from repro.errors import LstorFailedError
 from repro.sim.engine import Simulator
-from repro.storage.payload import BytesPayload, ContentFactory, Payload
+from repro.storage.payload import (
+    BytesPayload,
+    ContentFactory,
+    Payload,
+    XorAccumulator,
+)
 
 
 class Lstor:
@@ -53,6 +60,12 @@ class Lstor:
         self.journal = Journal(capacity=journal_capacity, now=sim.now)
         self.failed = False
         self._parity: Dict[int, Payload] = {}
+        # Bytes-plane fast path: per-slot writable XOR accumulators, so
+        # absorbing a delta is one in-place bitwise_xor with no payload
+        # allocation.  ``_parity`` doubles as the cache of immutable
+        # snapshots handed out by :meth:`parity_block`; entries are
+        # invalidated whenever the accumulator advances.
+        self._parity_accum: Dict[int, "np.ndarray"] = {}
         # Tags of already-absorbed updates: device-side sequence-number
         # dedup, which makes journal roll-forward idempotent.
         self._absorbed_tags: set = set()
@@ -73,11 +86,21 @@ class Lstor:
     # Parity plane.
     # ------------------------------------------------------------------
     def parity_block(self, slot: int) -> Payload:
-        """Current parity for block slot ``slot`` (zero if untouched)."""
+        """Current parity for block slot ``slot`` (zero if untouched).
+
+        The returned payload is an immutable snapshot: later absorbs at
+        the same slot never mutate it (journal records stay correct).
+        """
         self._check_alive()
         parity = self._parity.get(slot)
         if parity is None:
-            return self.factory.zero(self.block_size)
+            accum = self._parity_accum.get(slot)
+            if accum is None:
+                return self.factory.zero(self.block_size)
+            # Snapshot the writable accumulator; cached until the next
+            # absorb at this slot dirties it.
+            parity = BytesPayload(accum)
+            self._parity[slot] = parity
         return parity
 
     def absorb(self, slot: int, delta: Payload, tag=None) -> None:
@@ -93,7 +116,15 @@ class Lstor:
             if tag in self._absorbed_tags:
                 return
             self._absorbed_tags.add(tag)
-        self._parity[slot] = self.parity_block(slot).xor(delta)
+        if not self.factory.symbolic and isinstance(delta, BytesPayload):
+            accum = self._parity_accum.get(slot)
+            if accum is None:
+                accum = np.zeros(self.block_size, dtype=np.uint8)
+                self._parity_accum[slot] = accum
+            delta.xor_into(accum)
+            self._parity.pop(slot, None)
+        else:
+            self._parity[slot] = self.parity_block(slot).xor(delta)
         self.stats_parity_updates += 1
 
     def absorb_timed(self, slot: int, delta: Payload, nbytes: int) -> Generator:
@@ -115,7 +146,8 @@ class Lstor:
     def snapshot_parity(self) -> Dict[int, Payload]:
         """Copy of the parity region (used by recovery and tests)."""
         self._check_alive()
-        return dict(self._parity)
+        slots = sorted(set(self._parity) | set(self._parity_accum))
+        return {slot: self.parity_block(slot) for slot in slots}
 
 
 class LstorStack:
@@ -192,7 +224,9 @@ class LstorStack:
         deltas = self._codec.parity_delta(shard_index, old.data, new.data)
         for lstor, delta in zip(self.lstors, deltas):
             if not lstor.failed:
-                lstor.absorb(slot, BytesPayload(delta), tag=tag)
+                # parity_delta returns freshly allocated buffers: adopt
+                # them copy-free.
+                lstor.absorb(slot, BytesPayload.adopt(delta), tag=tag)
 
     def reconstruct_block(
         self,
@@ -213,10 +247,10 @@ class LstorStack:
         if self._codec is None:
             if len(missing_shards) != 1:
                 raise ValueError("a single Lstor recovers exactly one superchunk")
-            accum = alive[0].parity_block(slot)
+            accum = XorAccumulator(alive[0].parity_block(slot))
             for payload in surviving_blocks.values():
-                accum = accum.xor(payload)
-            return {missing_shards[0]: accum}
+                accum.add(payload)
+            return {missing_shards[0]: accum.result()}
         shards: Dict[int, Payload] = dict(surviving_blocks)
         full: Dict[int, "BytesPayload"] = {
             i: p for i, p in shards.items() if isinstance(p, BytesPayload)
@@ -237,6 +271,6 @@ class LstorStack:
             rebuilt = self._codec.reconstruct_shard(
                 {i: a for i, a in arrays.items() if i != shard}, shard
             )
-            result[shard] = BytesPayload(rebuilt)
+            result[shard] = BytesPayload.adopt(rebuilt)
             arrays[shard] = rebuilt
         return result

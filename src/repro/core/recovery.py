@@ -37,7 +37,7 @@ from repro.matching.hungarian import DynamicHungarian
 from repro.sim.engine import Simulator
 from repro.sim.network import Nic
 from repro.sim.resources import ByteRangeLock, Lock
-from repro.storage.payload import Payload
+from repro.storage.payload import Payload, XorAccumulator
 
 
 @dataclass(frozen=True)
@@ -507,9 +507,10 @@ class RecoveryManager:
                 if slot in payloads
             }
             missing = lost_source.shard_index_of(shared_sc)
-            accum = lost_source.lstors.primary.parity_block(slot)
+            chain = XorAccumulator(lost_source.lstors.primary.parity_block(slot))
             for payload in blocks_at_slot.values():
-                accum = accum.xor(payload)
+                chain.add(payload)
+            accum = chain.result()
             if not accum.is_zero():
                 rebuilt[slot] = accum
 

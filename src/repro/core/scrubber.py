@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.node import RaidpDataNode
 from repro.errors import DataLossError, RecoveryError
 from repro.hdfs.block import BlockLocations
-from repro.storage.payload import BytesPayload, Payload, TokenPayload
+from repro.storage.payload import BytesPayload, Payload, TokenPayload, XorAccumulator
 
 
 def corrupt_block(datanode, block_name: str, seed: int = 0xBAD) -> None:
@@ -148,7 +148,7 @@ class Scrubber:
             raise RecoveryError(f"{block.name} lacks a superchunk placement")
         # XOR the parity with every *other* local superchunk's block at
         # this slot; each contributes one local disk read.
-        accum = datanode.lstors.primary.parity_block(slot)
+        chain = XorAccumulator(datanode.lstors.primary.parity_block(slot))
         for other_sc in datanode.layout.superchunks_of(datanode.name):
             if other_sc == sc_id:
                 continue
@@ -156,7 +156,8 @@ class Scrubber:
             payload = datanode.slot_payload(other_sc, slot)
             if other_name is not None:
                 yield from datanode.fs.read(other_name, 0, block.size)
-            accum = accum.xor(payload)
+            chain.add(payload)
+        accum = chain.result()
         if not self._matches_checksum(datanode, block.name, accum):
             raise DataLossError(
                 f"local parity reconstruction of {block.name} failed its checksum"

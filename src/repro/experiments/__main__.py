@@ -1,8 +1,14 @@
-"""``python -m repro.experiments`` entry point."""
+"""``python -m repro.experiments`` entry point.
 
+Supports the full runner CLI, including ``--jobs N`` / ``RAIDP_JOBS`` to
+fan independent sweep points out across worker processes.
+"""
+
+import multiprocessing
 import sys
 
 from repro.experiments.runner import main
 
 if __name__ == "__main__":
+    multiprocessing.freeze_support()
     sys.exit(main())

@@ -10,48 +10,20 @@ replication dominates.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     DEFAULT_SEEDS,
-    averaged,
     build_hdfs,
     build_raidp,
     pick_scale,
 )
+from repro.experiments.parallel import fan_out
 from repro.experiments.runner import ExperimentResult
 from repro.workloads.dfsio import dfsio_read, dfsio_write
 from repro.workloads.terasort import teragen, terasort
 from repro.workloads.wordcount import wordcount, wordcount_input
-
-
-def _measure(dfs_builder: Callable[[int], object], workload: str, dataset: int, seeds):
-    """(runtime, network) averaged over seeds for one system+workload."""
-
-    def one(seed: int) -> Tuple[float, float]:
-        dfs = dfs_builder(seed)
-        if workload == "write":
-            res = dfsio_write(dfs, dataset)
-            return res.runtime, float(res.network_bytes)
-        if workload == "read":
-            dfsio_write(dfs, dataset)
-            res = dfsio_read(dfs)
-            return res.runtime, float(res.network_bytes)
-        if workload == "terasort":
-            teragen(dfs, dataset)
-            res = terasort(dfs, dataset)
-            return res.runtime, res.dfs_network_bytes
-        if workload == "wordcount":
-            wordcount_input(dfs, dataset)
-            res = wordcount(dfs, dataset)
-            return res.runtime, float(res.network_bytes)
-        raise ValueError(f"unknown workload {workload!r}")
-
-    samples = [one(seed) for seed in seeds]
-    runtime = sum(s[0] for s in samples) / len(samples)
-    network = sum(s[1] for s in samples) / len(samples)
-    return runtime, network
-
 
 #: workload -> (paper runtime delta, paper network delta).
 PAPER_DELTAS = {
@@ -61,21 +33,61 @@ PAPER_DELTAS = {
     "read": (0.03, 0.07),
 }
 
+#: Task key: (system, workload, placement seed).
+TaskKey = Tuple[str, str, int]
 
-def run(full_scale: bool = False, seeds=DEFAULT_SEEDS) -> ExperimentResult:
+
+def tasks(full_scale: bool = False, seeds: Sequence[int] = DEFAULT_SEEDS) -> List[TaskKey]:
+    return [
+        (system, workload, seed)
+        for workload in PAPER_DELTAS
+        for system in ("hdfs3", "raidp")
+        for seed in seeds
+    ]
+
+
+def run_task(key: TaskKey, full_scale: bool = False) -> Tuple[float, float]:
+    """One cell: (runtime, network bytes) for one system+workload+seed."""
+    system, workload, seed = key
     scale = pick_scale(full_scale)
+    dataset = scale.dataset
+    dfs = build_hdfs(3, scale, seed) if system == "hdfs3" else build_raidp(scale, seed)
+    if workload == "write":
+        res = dfsio_write(dfs, dataset)
+        return res.runtime, float(res.network_bytes)
+    if workload == "read":
+        dfsio_write(dfs, dataset)
+        res = dfsio_read(dfs)
+        return res.runtime, float(res.network_bytes)
+    if workload == "terasort":
+        teragen(dfs, dataset)
+        res = terasort(dfs, dataset)
+        return res.runtime, res.dfs_network_bytes
+    if workload == "wordcount":
+        wordcount_input(dfs, dataset)
+        res = wordcount(dfs, dataset)
+        return res.runtime, float(res.network_bytes)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def merge(
+    keyed: Dict[TaskKey, Tuple[float, float]],
+    full_scale: bool = False,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig10",
         title="RAIDP vs HDFS-3: runtime and network deltas",
         unit="relative delta (raidp/hdfs3 - 1)",
     )
+
+    def avg(system: str, workload: str) -> Tuple[float, float]:
+        samples = [keyed[(system, workload, seed)] for seed in seeds]
+        return mean(s[0] for s in samples), mean(s[1] for s in samples)
+
     for workload, (paper_rt, paper_net) in PAPER_DELTAS.items():
-        hdfs_rt, hdfs_net = _measure(
-            lambda seed: build_hdfs(3, scale, seed), workload, scale.dataset, seeds
-        )
-        raidp_rt, raidp_net = _measure(
-            lambda seed: build_raidp(scale, seed), workload, scale.dataset, seeds
-        )
+        hdfs_rt, hdfs_net = avg("hdfs3", workload)
+        raidp_rt, raidp_net = avg("raidp", workload)
         result.add(f"{workload}: runtime delta", raidp_rt / hdfs_rt - 1.0, paper_rt)
         result.add(f"{workload}: network delta", raidp_net / hdfs_net - 1.0, paper_net)
     result.notes = (
@@ -83,3 +95,10 @@ def run(full_scale: bool = False, seeds=DEFAULT_SEEDS) -> ExperimentResult:
         "in the text); the reproduced value is near zero"
     )
     return result
+
+
+def run(
+    full_scale: bool = False, seeds=DEFAULT_SEEDS, jobs: Optional[int] = None
+) -> ExperimentResult:
+    keyed = fan_out(__name__, full_scale=full_scale, seeds=seeds, jobs=jobs)
+    return merge(keyed, full_scale=full_scale, seeds=seeds)

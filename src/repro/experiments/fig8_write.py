@@ -8,15 +8,16 @@ relative to HDFS-3 (the paper prints these ratios above its bars).
 
 from __future__ import annotations
 
-from typing import Optional
+from statistics import mean
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     DEFAULT_SEEDS,
-    averaged,
     build_hdfs,
     build_raidp,
     pick_scale,
 )
+from repro.experiments.parallel import fan_out
 from repro.experiments.runner import ExperimentResult
 from repro.workloads.dfsio import dfsio_write
 
@@ -54,48 +55,80 @@ REWRITE_BARS = [
 ]
 
 
-def run(full_scale: bool = False, seeds=DEFAULT_SEEDS) -> ExperimentResult:
+#: label -> raidp kwargs for every bar (including the unoptimized family).
+_BAR_KWARGS = {
+    label: kwargs
+    for label, kwargs, _paper in OPTIMIZED_BARS + REWRITE_BARS + UNOPTIMIZED_BARS
+}
+
+#: Task key: (system, spec, dataset kind, placement seed).  ``system`` is
+#: "hdfs" (spec = replication factor) or "raidp" (spec = bar label);
+#: ``dataset kind`` selects the full or the reduced (per-packet) dataset.
+TaskKey = Tuple[str, Hashable, str, int]
+
+
+def tasks(full_scale: bool = False, seeds: Sequence[int] = DEFAULT_SEEDS) -> List[TaskKey]:
+    """Independent sweep cells, one simulated cluster run each."""
+    keys: List[TaskKey] = []
+    for seed in seeds:
+        keys.append(("hdfs", 3, "full", seed))
+        keys.append(("hdfs", 2, "full", seed))
+        for label, _kwargs, _paper in OPTIMIZED_BARS + REWRITE_BARS:
+            keys.append(("raidp", label, "full", seed))
+        # The unoptimized family simulates every 64 KB packet; it runs on
+        # a reduced dataset against its own HDFS-3 reference (ratios are
+        # scale-stable because both sides are throughput-bound).
+        keys.append(("hdfs", 3, "small", seed))
+        for label, _kwargs, _paper in UNOPTIMIZED_BARS:
+            keys.append(("raidp", label, "small", seed))
+    return keys
+
+
+def run_task(key: TaskKey, full_scale: bool = False) -> float:
+    """One cell: build the cluster for ``key``'s seed and time the write."""
+    system, spec, dataset_kind, seed = key
     scale = pick_scale(full_scale)
+    dataset = scale.dataset if dataset_kind == "full" else scale.unoptimized_dataset
+    if system == "hdfs":
+        dfs = build_hdfs(int(spec), scale, seed)
+    else:
+        dfs = build_raidp(scale, seed, **_BAR_KWARGS[spec])
+    return dfsio_write(dfs, dataset).runtime
+
+
+def merge(
+    keyed: Dict[TaskKey, float],
+    full_scale: bool = False,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ExperimentResult:
+    """Average cells across seeds and emit rows in the paper's bar order."""
     result = ExperimentResult(
         experiment="fig8",
         title="TestDFSIO write runtime relative to HDFS-3",
         unit="runtime / HDFS-3 runtime",
     )
 
-    def hdfs_runtime(replication: int, dataset: int):
-        return averaged(
-            lambda seed: dfsio_write(
-                build_hdfs(replication, scale, seed), dataset
-            ).runtime,
-            seeds,
-        )
+    def avg(system: str, spec: Hashable, dataset_kind: str) -> float:
+        return mean(keyed[(system, spec, dataset_kind, seed)] for seed in seeds)
 
-    def raidp_runtime(kwargs: dict, dataset: int):
-        return averaged(
-            lambda seed: dfsio_write(
-                build_raidp(scale, seed, **kwargs), dataset
-            ).runtime,
-            seeds,
-        )
-
-    baseline = hdfs_runtime(3, scale.dataset)
-    result.add("hdfs 2 replicas", hdfs_runtime(2, scale.dataset) / baseline, 0.68)
+    baseline = avg("hdfs", 3, "full")
+    result.add("hdfs 2 replicas", avg("hdfs", 2, "full") / baseline, 0.68)
     result.add("hdfs 3 replicas", 1.0, 1.0)
-    for label, kwargs, paper in OPTIMIZED_BARS + REWRITE_BARS:
-        result.add(label, raidp_runtime(kwargs, scale.dataset) / baseline, paper)
-    # The unoptimized family simulates every 64 KB packet; it runs on a
-    # reduced dataset against its own HDFS-3 reference (ratios are
-    # scale-stable because both sides are throughput-bound).
-    small_baseline = hdfs_runtime(3, scale.unoptimized_dataset)
-    for label, kwargs, paper in UNOPTIMIZED_BARS:
-        result.add(
-            label,
-            raidp_runtime(kwargs, scale.unoptimized_dataset) / small_baseline,
-            paper,
-        )
+    for label, _kwargs, paper in OPTIMIZED_BARS + REWRITE_BARS:
+        result.add(label, avg("raidp", label, "full") / baseline, paper)
+    small_baseline = avg("hdfs", 3, "small")
+    for label, _kwargs, paper in UNOPTIMIZED_BARS:
+        result.add(label, avg("raidp", label, "small") / small_baseline, paper)
     result.notes = (
         "expected shape: optimized raidp between hdfs-2 and hdfs-3 with "
         "small +lstor/+journal increments; re-write ~1.2x hdfs-3; "
         "unoptimized +journal off the chart"
     )
     return result
+
+
+def run(
+    full_scale: bool = False, seeds=DEFAULT_SEEDS, jobs: Optional[int] = None
+) -> ExperimentResult:
+    keyed = fan_out(__name__, full_scale=full_scale, seeds=seeds, jobs=jobs)
+    return merge(keyed, full_scale=full_scale, seeds=seeds)

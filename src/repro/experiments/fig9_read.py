@@ -8,13 +8,16 @@ writing produced and the replica choice is uniform.
 
 from __future__ import annotations
 
+from statistics import mean
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
 from repro.experiments.common import (
     DEFAULT_SEEDS,
-    averaged,
     build_hdfs,
     build_raidp,
     pick_scale,
 )
+from repro.experiments.parallel import fan_out
 from repro.experiments.runner import ExperimentResult
 from repro.workloads.dfsio import dfsio_read, dfsio_write
 
@@ -27,34 +30,59 @@ BARS = [
 ]
 
 
-def run(full_scale: bool = False, seeds=DEFAULT_SEEDS) -> ExperimentResult:
+_BAR_KWARGS = {label: kwargs for label, kwargs, _paper in BARS}
+
+#: Task key: (system, spec, placement seed).
+TaskKey = Tuple[str, Hashable, int]
+
+
+def tasks(full_scale: bool = False, seeds: Sequence[int] = DEFAULT_SEEDS) -> List[TaskKey]:
+    keys: List[TaskKey] = []
+    for seed in seeds:
+        keys.append(("hdfs", 3, seed))
+        keys.append(("hdfs", 2, seed))
+        for label, _kwargs, _paper in BARS:
+            keys.append(("raidp", label, seed))
+    return keys
+
+
+def run_task(key: TaskKey, full_scale: bool = False) -> float:
+    """One cell: write the dataset, then time reading it back."""
+    system, spec, seed = key
     scale = pick_scale(full_scale)
+    if system == "hdfs":
+        dfs = build_hdfs(int(spec), scale, seed)
+    else:
+        dfs = build_raidp(scale, seed, **_BAR_KWARGS[spec])
+    dfsio_write(dfs, scale.dataset)
+    return dfsio_read(dfs).runtime
+
+
+def merge(
+    keyed: Dict[TaskKey, float],
+    full_scale: bool = False,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig9",
         title="TestDFSIO read runtime relative to HDFS-3",
         unit="runtime / HDFS-3 runtime",
     )
 
-    def hdfs_read(replication: int):
-        def one(seed: int):
-            dfs = build_hdfs(replication, scale, seed)
-            dfsio_write(dfs, scale.dataset)
-            return dfsio_read(dfs).runtime
+    def avg(system: str, spec: Hashable) -> float:
+        return mean(keyed[(system, spec, seed)] for seed in seeds)
 
-        return averaged(one, seeds)
-
-    def raidp_read(kwargs: dict):
-        def one(seed: int):
-            dfs = build_raidp(scale, seed, **kwargs)
-            dfsio_write(dfs, scale.dataset)
-            return dfsio_read(dfs).runtime
-
-        return averaged(one, seeds)
-
-    baseline = hdfs_read(3)
-    result.add("hdfs 2 replicas", hdfs_read(2) / baseline, 1.03)
+    baseline = avg("hdfs", 3)
+    result.add("hdfs 2 replicas", avg("hdfs", 2) / baseline, 1.03)
     result.add("hdfs 3 replicas", 1.0, 1.00)
-    for label, kwargs, paper in BARS:
-        result.add(label, raidp_read(kwargs) / baseline, paper)
+    for label, _kwargs, paper in BARS:
+        result.add(label, avg("raidp", label) / baseline, paper)
     result.notes = "expected shape: all configurations within a few percent of 1.0"
     return result
+
+
+def run(
+    full_scale: bool = False, seeds=DEFAULT_SEEDS, jobs: Optional[int] = None
+) -> ExperimentResult:
+    keyed = fan_out(__name__, full_scale=full_scale, seeds=seeds, jobs=jobs)
+    return merge(keyed, full_scale=full_scale, seeds=seeds)

@@ -82,6 +82,8 @@ def run_experiment(name: str, **kwargs) -> "ExperimentResult":
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.experiments.parallel import JOBS_ENV_VAR, run_many
+
     parser = argparse.ArgumentParser(
         prog="raidp-experiments",
         description="Regenerate the RAIDP paper's tables and figures.",
@@ -97,6 +99,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="run at paper scale (100 GB datasets; slow)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent sweep points out to N worker processes "
+        f"(default: ${JOBS_ENV_VAR} or 1; 0 = all cores); results are "
+        "row-for-row identical at any job count",
+    )
     args = parser.parse_args(argv)
     if not args.experiments:
         print("available experiments:")
@@ -105,7 +117,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     names = list_experiments() if args.experiments == ["all"] else args.experiments
     for name in names:
-        result = run_experiment(name, full_scale=args.full)
+        if name not in REGISTRY:
+            raise KeyError(f"unknown experiment {name!r}; known: {list_experiments()}")
+    for result in run_many(names, full_scale=args.full, jobs=args.jobs):
         print(result.render())
         print()
     return 0

@@ -8,6 +8,8 @@ reconstruct the two lost ones.
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional, Sequence, Tuple
+
 from repro import units
 from repro.core.recovery import (
     RecoveryManager,
@@ -15,6 +17,7 @@ from repro.core.recovery import (
     simulate_raid6_rebuild,
 )
 from repro.experiments.common import build_raidp, pick_scale
+from repro.experiments.parallel import fan_out
 from repro.experiments.runner import ExperimentResult
 
 #: (lock mode, chunk size, paper seconds @10G, paper seconds @1G).
@@ -31,8 +34,55 @@ RAID6_ROWS = [
 ]
 
 
-def run(full_scale: bool = False) -> ExperimentResult:
+#: Task key: ("raidp", lock mode, chunk size, nic index) or
+#: ("raid6", chunk size, nic index).  Every row is one independent
+#: double-failure simulation (seed fixed at 1 -- recovery runtimes are
+#: placement-insensitive at this scale).
+TaskKey = Tuple
+
+
+def tasks(full_scale: bool = False, seeds: Optional[Sequence[int]] = None) -> List[TaskKey]:
+    keys: List[TaskKey] = []
+    for lock_mode, chunk, _paper_10g, _paper_1g in RAIDP_ROWS:
+        for nic_index in (0, 1):
+            keys.append(("raidp", lock_mode, chunk, nic_index))
+    for chunk, _paper_10g, _paper_1g in RAID6_ROWS:
+        for nic_index in (0, 1):
+            keys.append(("raid6", chunk, nic_index))
+    return keys
+
+
+def run_task(key: TaskKey, full_scale: bool = False) -> float:
+    """One table row: simulate the double-failure recovery, return seconds."""
     scale = pick_scale(full_scale)
+    if key[0] == "raidp":
+        _kind, lock_mode, chunk, nic_index = key
+        dfs = build_raidp(scale, seed=1)
+        manager = RecoveryManager(dfs)
+        options = RecoveryOptions(
+            lock_mode=lock_mode, chunk_size=chunk, nic_index=nic_index
+        )
+        report = manager.recover_double_failure(
+            "n0", "n1", options=options, remirror_rest=False, install=False
+        )
+        return report.duration
+    # RAID-6 rebuilds both failed disks from all survivors.  Each of the
+    # paper's disks carries 16 superchunks x 6 GB = 96 GB of data.
+    _kind, chunk, nic_index = key
+    data_per_disk = 16 * scale.superchunk_size
+    return simulate_raid6_rebuild(
+        data_per_disk=data_per_disk,
+        surviving_disks=scale.num_nodes - 2,
+        chunk_size=chunk,
+        nic_rate=units.gbps(10) if nic_index == 0 else units.gbps(1),
+    )
+
+
+def merge(
+    keyed: Dict[TaskKey, float],
+    full_scale: bool = False,
+    seeds: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment="table2",
         title="6 GB superchunk recovery runtimes (16-node cluster)",
@@ -40,36 +90,28 @@ def run(full_scale: bool = False) -> ExperimentResult:
     )
     for lock_mode, chunk, paper_10g, paper_1g in RAIDP_ROWS:
         for nic_index, paper in ((0, paper_10g), (1, paper_1g)):
-            dfs = build_raidp(scale, seed=1)
-            manager = RecoveryManager(dfs)
-            options = RecoveryOptions(
-                lock_mode=lock_mode, chunk_size=chunk, nic_index=nic_index
-            )
-            report = manager.recover_double_failure(
-                "n0", "n1", options=options, remirror_rest=False, install=False
-            )
             nic = "10Gbps" if nic_index == 0 else "1Gbps"
             result.add(
                 f"raidp {lock_mode} {chunk // units.MiB}MB @{nic}",
-                report.duration,
+                keyed[("raidp", lock_mode, chunk, nic_index)],
                 paper,
             )
-    # RAID-6 rebuilds both failed disks from all survivors.  Each of the
-    # paper's disks carries 16 superchunks x 6 GB = 96 GB of data.
-    data_per_disk = 16 * scale.superchunk_size
     for chunk, paper_10g, paper_1g in RAID6_ROWS:
-        for nic_rate, paper in ((units.gbps(10), paper_10g), (units.gbps(1), paper_1g)):
-            duration = simulate_raid6_rebuild(
-                data_per_disk=data_per_disk,
-                surviving_disks=scale.num_nodes - 2,
-                chunk_size=chunk,
-                nic_rate=nic_rate,
+        for nic_index, paper in ((0, paper_10g), (1, paper_1g)):
+            nic = "10Gbps" if nic_index == 0 else "1Gbps"
+            result.add(
+                f"raid6 {chunk // units.MiB}MB @{nic}",
+                keyed[("raid6", chunk, nic_index)],
+                paper,
             )
-            nic = "10Gbps" if nic_rate == units.gbps(10) else "1Gbps"
-            result.add(f"raid6 {chunk // units.MiB}MB @{nic}", duration, paper)
     result.notes = (
         "expected shape: byte-range/4MB fastest, superchunk/4MB slowest, "
         "the 1Gbps network flattens all RAIDP rows, RAID-6 an order of "
         "magnitude slower"
     )
     return result
+
+
+def run(full_scale: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
+    keyed = fan_out(__name__, full_scale=full_scale, jobs=jobs)
+    return merge(keyed, full_scale=full_scale)

@@ -31,6 +31,27 @@ from repro.errors import SimulationError
 # A process body: a generator that yields Events and may return a value.
 ProcessBody = Generator["Event", Any, Any]
 
+#: Sentinel stored in ``Event._callbacks`` once the event has dispatched.
+_DISPATCHED = object()
+
+
+class _Deferred:
+    """A bare callback on the event heap.
+
+    The heap only requires entries to expose ``_dispatch``; a one-field
+    object is much cheaper than a full :class:`Event` for the internal
+    "run this soon" pattern (process bootstrap, late callbacks,
+    interrupts), which fires once per process and never carries a value.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+
+    def _dispatch(self) -> None:
+        self.fn()
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -45,7 +66,10 @@ class Event:
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        # None (no waiter yet) | a single callable | a list of callables |
+        # _DISPATCHED.  Most events have exactly one waiter, so the common
+        # case allocates no list.
+        self._callbacks: Any = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self.triggered = False
@@ -91,20 +115,27 @@ class Event:
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` once the event has been dispatched."""
-        if self._callbacks is None:
-            # Already dispatched: schedule an immediate follow-up event so
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = callback
+        elif callbacks is _DISPATCHED:
+            # Already dispatched: schedule an immediate deferred call so
             # the callback still runs inside the simulation loop.
-            follower = Event(self.sim)
-            follower.add_callback(lambda _ev: callback(self))
-            follower.succeed()
+            self.sim._schedule_callback(lambda: callback(self))
+        elif isinstance(callbacks, list):
+            callbacks.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [callbacks, callback]
 
     def _dispatch(self) -> None:
-        callbacks, self._callbacks = self._callbacks, None
-        assert callbacks is not None
-        for callback in callbacks:
-            callback(self)
+        callbacks, self._callbacks = self._callbacks, _DISPATCHED
+        if callbacks is None:
+            return
+        if isinstance(callbacks, list):
+            for callback in callbacks:
+                callback(self)
+        else:
+            callbacks(self)
 
 
 class Timeout(Event):
@@ -133,10 +164,9 @@ class Process(Event):
         self.name = name or getattr(body, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         self._had_waiters = False
-        # Kick off the body on the next step.
-        bootstrap = Event(sim)
-        bootstrap.add_callback(self._resume)
-        bootstrap.succeed()
+        # Kick off the body on the next step (deferred callback: no
+        # bootstrap Event allocation per process).
+        sim._schedule_callback(self._start)
         sim._live_processes += 1
 
     @property
@@ -158,9 +188,7 @@ class Process(Event):
         """Throw :class:`ProcessInterrupt` into the body at its wait point."""
         if self.triggered:
             return
-        wake = Event(self.sim)
-        wake.add_callback(lambda _ev: self._throw(ProcessInterrupt(reason)))
-        wake.succeed()
+        self.sim._schedule_callback(lambda: self._throw(ProcessInterrupt(reason)))
 
     def _throw(self, exc: BaseException) -> None:
         if self.triggered:
@@ -168,6 +196,19 @@ class Process(Event):
         self._waiting_on = None
         try:
             target = self.body.throw(exc)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+        except BaseException as err:  # noqa: BLE001 - propagate into the event
+            self._finish_fail(err)
+        else:
+            self._wait_for(target)
+
+    def _start(self) -> None:
+        """First resume of the body (nothing to send yet)."""
+        if self.triggered:
+            return
+        try:
+            target = self.body.send(None)
         except StopIteration as stop:
             self._finish_ok(stop.value)
         except BaseException as err:  # noqa: BLE001 - propagate into the event
@@ -275,7 +316,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        # Entries are (time, seq, Event-or-_Deferred); seq is unique, so
+        # the third element is never compared.
+        self._heap: List[Tuple[float, int, Any]] = []
         self._seq = 0
         self._live_processes = 0
         self._failed: List[Tuple[Process, BaseException]] = []
@@ -307,6 +350,16 @@ class Simulator:
         event._scheduled = True
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _schedule_callback(self, fn: Callable[[], None]) -> None:
+        """Queue a bare callback at the current time (fast path).
+
+        Replaces the allocate-Event-and-succeed idiom for internal
+        scheduling; consumes one sequence number, exactly like the event
+        it replaces, so tie-breaking order is unchanged.
+        """
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, _Deferred(fn)))
 
     def _note_process_failure(self, process: Process, exc: BaseException) -> None:
         self._failed.append((process, exc))

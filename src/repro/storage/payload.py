@@ -29,20 +29,73 @@ class Payload:
     # Subclasses implement __eq__/__hash__.
 
 
-class BytesPayload(Payload):
-    """A real byte buffer (numpy uint8), fixed length."""
+def _is_safely_immutable(arr: np.ndarray) -> bool:
+    """True if ``arr`` can never be written through any live reference.
 
-    __slots__ = ("data",)
+    Walking the base chain catches the trap of a read-only *view* whose
+    underlying buffer is still writable through the base array.
+    """
+    if arr.flags.writeable:
+        return False
+    base = arr.base
+    while base is not None:
+        if isinstance(base, np.ndarray):
+            if base.flags.writeable:
+                return False
+            base = base.base
+        else:
+            # Non-ndarray buffer owner (e.g. the ``bytes`` object behind
+            # ``np.frombuffer``): immutable iff the owner is immutable.
+            return isinstance(base, bytes)
+    return True
+
+
+class BytesPayload(Payload):
+    """A real byte buffer (numpy uint8), fixed length.
+
+    Construction is copy-free whenever the source is provably immutable
+    (``bytes`` via ``np.frombuffer``, or a read-only array whose whole
+    base chain is read-only); only writable sources are copied.  Fresh
+    buffers produced by payload arithmetic are adopted without a copy via
+    :meth:`adopt`.
+    """
+
+    __slots__ = ("data", "_crc")
 
     def __init__(self, data: Union[bytes, np.ndarray]) -> None:
-        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
-        # Copy so the payload owns its buffer (immutability).
-        self.data = arr.copy()
-        self.data.setflags(write=False)
+        if isinstance(data, bytes):
+            # frombuffer on bytes is a zero-copy read-only view backed by
+            # the immutable bytes object itself.
+            arr = np.frombuffer(data, dtype=np.uint8)
+        elif isinstance(data, (bytearray, memoryview)):
+            arr = np.frombuffer(data, dtype=np.uint8).copy()
+        else:
+            arr = np.asarray(data, dtype=np.uint8)
+            if not _is_safely_immutable(arr):
+                # Copy so the payload owns its buffer (immutability).
+                arr = arr.copy()
+        arr.setflags(write=False)
+        self.data = arr
+        self._crc: Optional[int] = None
+
+    @classmethod
+    def adopt(cls, arr: np.ndarray) -> "BytesPayload":
+        """Wrap a freshly allocated array without copying.
+
+        The caller transfers ownership: it must not retain any writable
+        reference to ``arr`` (or its base) after adoption.  This is the
+        allocation-free path used by the XOR/codec kernels.
+        """
+        payload = cls.__new__(cls)
+        arr = np.ascontiguousarray(arr, dtype=np.uint8)
+        arr.setflags(write=False)
+        payload.data = arr
+        payload._crc = None
+        return payload
 
     @classmethod
     def zeros(cls, length: int) -> "BytesPayload":
-        return cls(np.zeros(length, dtype=np.uint8))
+        return cls.adopt(np.zeros(length, dtype=np.uint8))
 
     def xor(self, other: Payload) -> "BytesPayload":
         if not isinstance(other, BytesPayload):
@@ -51,12 +104,32 @@ class BytesPayload(Payload):
             raise ValueError(
                 f"payload length mismatch: {len(self.data)} vs {len(other.data)}"
             )
-        return BytesPayload(np.bitwise_xor(self.data, other.data))
+        return BytesPayload.adopt(np.bitwise_xor(self.data, other.data))
+
+    def xor_into(self, accum: np.ndarray) -> None:
+        """``accum ^= self`` in place, no allocation.
+
+        ``accum`` must be a writable uint8 array of matching length owned
+        by the caller; it is never retained.  This keeps long XOR chains
+        (parity absorption, superchunk reconstruction) copy-free while the
+        payload itself stays immutable.
+        """
+        if len(accum) != len(self.data):
+            raise ValueError(
+                f"payload length mismatch: {len(accum)} vs {len(self.data)}"
+            )
+        np.bitwise_xor(accum, self.data, out=accum)
+
+    def mutable_copy(self) -> np.ndarray:
+        """A writable copy of the content, for use as an XOR accumulator."""
+        return self.data.copy()
 
     def is_zero(self) -> bool:
         return not self.data.any()
 
     def slice(self, start: int, end: int) -> "BytesPayload":
+        # The slice is a read-only view over this payload's immutable
+        # buffer, so the constructor takes it copy-free.
         return BytesPayload(self.data[start:end])
 
     def splice(self, offset: int, patch: "BytesPayload") -> "BytesPayload":
@@ -66,14 +139,19 @@ class BytesPayload(Payload):
             raise ValueError("splice outside payload")
         merged = self.data.copy()
         merged[offset:end] = patch.data
-        return BytesPayload(merged)
+        return BytesPayload.adopt(merged)
 
     def to_bytes(self) -> bytes:
         return self.data.tobytes()
 
     def checksum(self) -> int:
-        """CRC32 of the content (models HDFS's per-block checksum file)."""
-        return zlib.crc32(self.data.tobytes())
+        """CRC32 of the content (models HDFS's per-block checksum file).
+
+        Cached: payloads are immutable, so the CRC can never change.
+        """
+        if self._crc is None:
+            self._crc = zlib.crc32(self.data)
+        return self._crc
 
     def __len__(self) -> int:
         return len(self.data)
@@ -128,6 +206,44 @@ class TokenPayload(Payload):
         return f"<TokenPayload {sorted(self.tokens)!r}>"
 
 
+class XorAccumulator:
+    """Folds payloads under XOR without a fresh allocation per step.
+
+    In the bytes plane the accumulator owns one writable buffer and XORs
+    into it in place; :meth:`result` adopts the buffer into an immutable
+    payload (so the total cost of an N-term chain is one allocation, not
+    N).  In the token plane it falls back to immutable folding -- token
+    sets are tiny, so there is nothing to win there.
+    """
+
+    __slots__ = ("_buf", "_payload")
+
+    def __init__(self, initial: Payload) -> None:
+        if isinstance(initial, BytesPayload):
+            self._buf: Optional[np.ndarray] = initial.mutable_copy()
+            self._payload: Optional[Payload] = None
+        else:
+            self._buf = None
+            self._payload = initial
+
+    def add(self, payload: Payload) -> None:
+        if self._buf is not None:
+            if not isinstance(payload, BytesPayload):
+                raise TypeError("cannot XOR bytes with symbolic payload")
+            payload.xor_into(self._buf)
+        else:
+            assert self._payload is not None
+            self._payload = self._payload.xor(payload)
+
+    def result(self) -> Payload:
+        """The folded payload; the accumulator must not be added to after."""
+        if self._buf is not None:
+            self._payload = BytesPayload.adopt(self._buf)
+            self._buf = None  # buffer ownership transferred to the payload
+        assert self._payload is not None
+        return self._payload
+
+
 class ContentFactory:
     """Mints deterministic payloads for named data in either plane.
 
@@ -153,7 +269,7 @@ class ContentFactory:
         rng = np.random.default_rng(
             (hash((self.seed, name, version)) & 0x7FFFFFFFFFFFFFFF)
         )
-        return BytesPayload(rng.integers(0, 256, size=length, dtype=np.uint8))
+        return BytesPayload.adopt(rng.integers(0, 256, size=length, dtype=np.uint8))
 
     def zero(self, length: int) -> Payload:
         if self.mode == "tokens":

@@ -1,0 +1,222 @@
+"""Perf-tracking bench harness: ``python -m repro.tools.bench``.
+
+Times every registered experiment at smoke scale (one placement seed),
+measures the substrate kernels (event-loop dispatch rate, payload XOR
+throughput), and optionally compares end-to-end suite wall-clock across
+worker-process counts.  Everything lands in ``BENCH_sim.json`` so future
+PRs have a measurable baseline: regressions in either the hot kernels or
+any single experiment show up as a diff against the committed report.
+
+Usage::
+
+    python -m repro.tools.bench                     # all experiments, jobs from RAIDP_JOBS
+    python -m repro.tools.bench fig8 table2 -j 4    # a subset, 4 workers
+    python -m repro.tools.bench --compare-jobs 1,4  # suite speedup measurement
+    python -m repro.tools.bench --kernels-only      # skip the experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.experiments.parallel import resolve_jobs, run_many
+from repro.experiments.runner import REGISTRY, list_experiments
+from repro.sim.engine import Simulator
+from repro.storage.payload import BytesPayload
+
+#: Smoke-scale seed set: one placement seed instead of the default three.
+SMOKE_SEEDS = (1,)
+
+DEFAULT_OUTPUT = "BENCH_sim.json"
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenchmarks.
+# ----------------------------------------------------------------------
+def bench_payload_xor(size: int = units.MiB, repeats: int = 64) -> Dict[str, float]:
+    """Throughput of the allocating vs. in-place payload XOR paths (GB/s)."""
+    rng = np.random.default_rng(7)
+    a = BytesPayload.adopt(rng.integers(0, 256, size=size, dtype=np.uint8))
+    b = BytesPayload.adopt(rng.integers(0, 256, size=size, dtype=np.uint8))
+
+    start = time.perf_counter()
+    acc = a
+    for _ in range(repeats):
+        acc = acc.xor(b)
+    xor_elapsed = time.perf_counter() - start
+
+    buf = a.mutable_copy()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        b.xor_into(buf)
+    xor_into_elapsed = time.perf_counter() - start
+
+    total = size * repeats / units.GB
+    return {
+        "payload_xor_gbps": total / xor_elapsed if xor_elapsed else float("inf"),
+        "payload_xor_into_gbps": (
+            total / xor_into_elapsed if xor_into_elapsed else float("inf")
+        ),
+    }
+
+
+def bench_event_loop(num_events: int = 100_000) -> Dict[str, float]:
+    """Dispatch rate of the simulation event loop (events/second)."""
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(num_events):
+            yield sim.timeout(0.001)
+
+    sim.process(ticker())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "event_loop_events_per_sec": (
+            num_events / elapsed if elapsed else float("inf")
+        ),
+    }
+
+
+def bench_kernels() -> Dict[str, float]:
+    kernels: Dict[str, float] = {}
+    kernels.update(bench_payload_xor())
+    kernels.update(bench_event_loop())
+    return kernels
+
+
+# ----------------------------------------------------------------------
+# Experiment timings.
+# ----------------------------------------------------------------------
+def time_experiments(
+    names: Sequence[str], jobs: int
+) -> Dict[str, Dict[str, float]]:
+    """Wall-clock per experiment at smoke scale (one seed)."""
+    timings: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        start = time.perf_counter()
+        (result,) = run_many([name], jobs=jobs, seeds=SMOKE_SEEDS)
+        elapsed = time.perf_counter() - start
+        timings[name] = {
+            "seconds": round(elapsed, 3),
+            "rows": len(result.rows),
+        }
+        print(f"  {name:<16} {elapsed:8.2f}s  ({len(result.rows)} rows)")
+    return timings
+
+
+def time_suite(names: Sequence[str], jobs_list: Sequence[int]) -> Dict[str, float]:
+    """End-to-end suite wall-clock at each worker count."""
+    seconds_by_jobs: Dict[str, float] = {}
+    for jobs in jobs_list:
+        start = time.perf_counter()
+        run_many(names, jobs=jobs, seeds=SMOKE_SEEDS)
+        elapsed = time.perf_counter() - start
+        seconds_by_jobs[str(jobs)] = round(elapsed, 3)
+        print(f"  suite @ jobs={jobs}: {elapsed:.2f}s")
+    return seconds_by_jobs
+
+
+# ----------------------------------------------------------------------
+# Entry point.
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Time the experiment suite and substrate kernels; "
+        "write a machine-readable perf report.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to time (default: the whole registry)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the per-experiment timings "
+        "(default: $RAIDP_JOBS or 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--compare-jobs",
+        default=None,
+        metavar="N,M,...",
+        help="additionally time the full suite at each of these worker "
+        "counts (e.g. 1,4) and record the speedup",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--kernels-only",
+        action="store_true",
+        help="only run the kernel microbenchmarks (fast)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list_experiments()
+    for name in names:
+        if name not in REGISTRY:
+            parser.error(f"unknown experiment {name!r}; known: {list_experiments()}")
+    jobs = resolve_jobs(args.jobs)
+
+    report = {
+        "schema": 1,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "jobs": jobs,
+            "smoke_seeds": list(SMOKE_SEEDS),
+            "experiments": list(names),
+        },
+    }
+
+    print("kernel microbenchmarks:")
+    kernels = bench_kernels()
+    for key, value in kernels.items():
+        print(f"  {key:<28} {value:,.1f}")
+    report["kernels"] = {k: round(v, 2) for k, v in kernels.items()}
+
+    if not args.kernels_only:
+        print(f"experiment timings (smoke scale, jobs={jobs}):")
+        report["experiments"] = time_experiments(names, jobs)
+        if args.compare_jobs:
+            jobs_list = [resolve_jobs(int(j)) for j in args.compare_jobs.split(",")]
+            print("suite comparison:")
+            seconds_by_jobs = time_suite(names, jobs_list)
+            suite = {"seconds_by_jobs": seconds_by_jobs}
+            baseline = seconds_by_jobs.get("1")
+            if baseline:
+                best = min(seconds_by_jobs.values())
+                suite["speedup_vs_jobs1"] = round(baseline / best, 3)
+            report["suite"] = suite
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

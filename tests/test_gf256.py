@@ -133,3 +133,29 @@ def test_vandermonde_submatrices_invertible():
     for rows in itertools.combinations(range(7), 3):
         sub = [v[r] for r in rows]
         GF256.mat_invert(sub)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# The vectorized multiplication table.
+# ----------------------------------------------------------------------
+def test_mul_table_matches_scalar_mul_on_random_sample():
+    """Regression for the vectorized table build: it must agree with the
+    scalar log/antilog ``GF256.mul`` everywhere (sampled) including the
+    zero row/column."""
+    from repro.ec.gf256 import _MUL_TABLE
+
+    rng = np.random.default_rng(0xF1E1D)
+    pairs = rng.integers(0, 256, size=(512, 2))
+    for a, b in pairs:
+        assert _MUL_TABLE[a, b] == GF256.mul(int(a), int(b))
+    # Zero annihilates; one is the identity (full rows, not sampled).
+    assert not _MUL_TABLE[0].any()
+    assert not _MUL_TABLE[:, 0].any()
+    assert np.array_equal(_MUL_TABLE[1], np.arange(256, dtype=np.uint8))
+    assert np.array_equal(_MUL_TABLE[:, 1], np.arange(256, dtype=np.uint8))
+
+
+def test_mul_table_is_symmetric():
+    from repro.ec.gf256 import _MUL_TABLE
+
+    assert np.array_equal(_MUL_TABLE, _MUL_TABLE.T)

@@ -130,3 +130,109 @@ def test_factory_token_mode():
 def test_factory_rejects_unknown_mode():
     with pytest.raises(ValueError):
         ContentFactory(mode="holographic")
+
+
+# ----------------------------------------------------------------------
+# Copy-free construction and the in-place XOR kernels.
+# ----------------------------------------------------------------------
+def test_bytes_construction_from_bytes_is_zero_copy():
+    raw = b"zero copy please"
+    payload = BytesPayload(raw)
+    # The array must be backed by the original bytes object, not a copy.
+    base = payload.data.base
+    while isinstance(base, np.ndarray):
+        base = base.base
+    assert base is raw
+    assert not payload.data.flags.writeable
+
+
+def test_bytes_construction_copies_writable_arrays():
+    arr = np.frombuffer(b"abcd", dtype=np.uint8).copy()  # writable
+    payload = BytesPayload(arr)
+    arr[0] = 99  # mutating the source must not reach the payload
+    assert payload == BytesPayload(b"abcd")
+
+
+def test_bytes_construction_copies_readonly_view_of_writable_base():
+    base = np.frombuffer(b"abcd", dtype=np.uint8).copy()
+    view = base[:]
+    view.setflags(write=False)
+    payload = BytesPayload(view)  # base is still writable: must copy
+    base[0] = 99
+    assert payload == BytesPayload(b"abcd")
+
+
+def test_adopt_does_not_copy_and_freezes():
+    arr = np.arange(8, dtype=np.uint8)
+    payload = BytesPayload.adopt(arr)
+    assert payload.data is arr  # same buffer, ownership transferred
+    assert not arr.flags.writeable
+
+
+def test_slice_is_zero_copy_view():
+    payload = BytesPayload(b"0123456789")
+    piece = payload.slice(2, 5)
+    assert piece == BytesPayload(b"234")
+    base = piece.data.base
+    while isinstance(base, np.ndarray) and base is not payload.data:
+        base = base.base
+    assert base is payload.data or base is payload.data.base
+
+
+def test_xor_into_matches_xor():
+    rng = np.random.default_rng(11)
+    a = BytesPayload(rng.integers(0, 256, size=64, dtype=np.uint8))
+    b = BytesPayload(rng.integers(0, 256, size=64, dtype=np.uint8))
+    buf = a.mutable_copy()
+    b.xor_into(buf)
+    assert BytesPayload.adopt(buf) == a.xor(b)
+
+
+def test_xor_into_length_mismatch_rejected():
+    a = BytesPayload(b"abc")
+    with pytest.raises(ValueError):
+        a.xor_into(np.zeros(5, dtype=np.uint8))
+
+
+def test_checksum_is_cached_and_stable():
+    payload = BytesPayload(b"cache me")
+    first = payload.checksum()
+    assert payload.checksum() == first
+    import zlib
+
+    assert first == zlib.crc32(b"cache me")
+
+
+def test_xor_accumulator_bytes_plane():
+    from repro.storage.payload import XorAccumulator
+
+    rng = np.random.default_rng(12)
+    payloads = [
+        BytesPayload(rng.integers(0, 256, size=32, dtype=np.uint8)) for _ in range(5)
+    ]
+    accum = XorAccumulator(payloads[0])
+    for p in payloads[1:]:
+        accum.add(p)
+    expected = payloads[0]
+    for p in payloads[1:]:
+        expected = expected.xor(p)
+    assert accum.result() == expected
+    # The initial payload must not have been mutated.
+    assert payloads[0] == BytesPayload(payloads[0].data)
+
+
+def test_xor_accumulator_token_plane():
+    from repro.storage.payload import XorAccumulator
+
+    accum = XorAccumulator(TokenPayload.of("blk", 1))
+    accum.add(TokenPayload.of("blk", 2))
+    accum.add(TokenPayload.of("blk", 1))
+    assert accum.result() == TokenPayload.of("blk", 2)
+
+
+def test_xor_accumulator_rejects_cross_plane():
+    from repro.storage.payload import XorAccumulator
+
+    accum = XorAccumulator(BytesPayload(b"ab"))
+    with pytest.raises(TypeError):
+        accum.add(TokenPayload.of("x", 1))
