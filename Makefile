@@ -4,7 +4,7 @@ PYTHON     ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench bench-kernels verify experiments clean
+.PHONY: test bench bench-kernels chaos verify experiments clean
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -18,9 +18,16 @@ bench:
 bench-kernels:
 	$(PYTHON) -m repro.tools.bench --kernels-only --output /dev/null
 
-# Tier-1 tests + the smoke-scale perf report.  Regenerates BENCH_sim.json
-# so perf changes show up as a diff in review.
-verify: test
+# Chaos soak: a seeded randomized failure schedule (disk/node/NIC/Lstor
+# faults) injected under live DFSIO+TeraSort traffic, run twice to prove
+# the whole lifecycle is deterministic.  `--seed N` to replay a schedule.
+CHAOS_ARGS ?=
+chaos:
+	$(PYTHON) -m repro.tools.chaos --runs 2 $(CHAOS_ARGS)
+
+# Tier-1 tests + chaos soak + the smoke-scale perf report.  Regenerates
+# BENCH_sim.json so perf changes show up as a diff in review.
+verify: test chaos
 	$(PYTHON) -m repro.tools.bench --compare-jobs 1,4
 
 # Regenerate every table/figure of the paper (uses all cores).

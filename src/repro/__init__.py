@@ -22,8 +22,10 @@ See README.md for the architecture overview and
 from repro import units
 from repro.core.cluster import RaidpCluster
 from repro.core.layout import Layout, LayoutSpec, rotational_layout
+from repro.core.monitor import ClusterMonitor, MonitorConfig
 from repro.core.node import RaidpConfig
 from repro.core.recovery import RecoveryManager, RecoveryOptions
+from repro.faults import Fault, FaultInjector, FaultSchedule, chaos_schedule
 from repro.hdfs.config import DfsConfig
 from repro.hdfs.filesystem import HdfsCluster
 from repro.sim.cluster import ClusterSpec
@@ -31,15 +33,21 @@ from repro.sim.cluster import ClusterSpec
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterMonitor",
     "ClusterSpec",
     "DfsConfig",
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
     "HdfsCluster",
     "Layout",
     "LayoutSpec",
+    "MonitorConfig",
     "RaidpCluster",
     "RaidpConfig",
     "RecoveryManager",
     "RecoveryOptions",
+    "chaos_schedule",
     "rotational_layout",
     "units",
 ]

@@ -9,6 +9,7 @@ the unoptimized ablation is requested.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional
 
 from repro import units
@@ -46,14 +47,9 @@ class RaidpCluster:
         self.spec = spec or ClusterSpec()
         base_config = config or DfsConfig()
         if base_config.replication != 2:
-            base_config = DfsConfig(
-                block_size=base_config.block_size,
-                packet_size=base_config.packet_size,
-                replication=2,
-                sync_on_block_close=base_config.sync_on_block_close,
-                tasks_per_node=base_config.tasks_per_node,
-                ack_size=base_config.ack_size,
-            )
+            # RAIDP is a 2-way system; coerce only the replication factor
+            # and keep every other knob the caller chose.
+            base_config = dataclasses.replace(base_config, replication=2)
         self.config = base_config
         self.raidp = raidp or RaidpConfig()
         self.cluster = Cluster(self.sim, self.spec)
@@ -92,6 +88,9 @@ class RaidpCluster:
             self.layout, self.map, seed=seed, node_of=self.layout.domain_of
         )
         self.namenode = NameNode(self.config, self.placement)
+        #: The server hosting the NameNode process (heartbeat endpoint).
+        #: Like small Hadoop deployments, it is collocated with node 0.
+        self.namenode_node = self.cluster.nodes[0]
 
         self.datanodes: List[RaidpDataNode] = []
         for node in self.cluster.nodes:
@@ -187,6 +186,8 @@ class RaidpCluster:
         for datanode in self.datanodes:
             if not datanode.alive:
                 continue
+            if datanode.name not in self.layout.disks:
+                continue  # evicted by recovery; rejoined empty, nothing to check
             lstor = datanode.lstors.primary
             if lstor.failed:
                 continue

@@ -181,6 +181,25 @@ class Layout:
             and len(self._slots[disk_b]) < self.max_superchunks(disk_b)
         )
 
+    def add_disk(self, disk: str, domain: Optional[str] = None) -> None:
+        """Admit a (replacement) disk that holds no superchunks yet.
+
+        The rejoin path uses this: a node whose data was re-homed during
+        recovery restarts from wiped media, and its disk re-enters the
+        layout empty -- a legal receiver for future superchunks.  The
+        disk's old failure domain is remembered across removal, so
+        ``domain`` is only needed for genuinely new disks.
+        """
+        if disk in self._slots:
+            raise LayoutError(f"disk {disk} already in layout")
+        if self._domains is not None:
+            if domain is not None:
+                self._domains[disk] = domain
+            elif disk not in self._domains:
+                raise LayoutError(f"disk {disk} needs a failure domain")
+        self._disks.append(disk)
+        self._slots[disk] = []
+
     def add_superchunk(self, disk_a: str, disk_b: str) -> Superchunk:
         """Allocate a new mirrored superchunk across two disks."""
         if disk_a == disk_b:
@@ -272,6 +291,29 @@ class Layout:
         self._slots[new_disk].append(sc_id)
         self._pair_index[pair] = sc_id
         return updated
+
+    def restore_superchunk(self, previous: Superchunk, receiver: str) -> None:
+        """Undo a :meth:`remirror` whose data copy failed mid-flight.
+
+        The receiver gives the superchunk back and the pre-remirror
+        record is reinstated, so the chunk returns to its singly-homed
+        (orphan) state and a later recovery can re-plan it.  The old
+        pair index entry is only restored when both old homes are still
+        in the layout (the usual case -- one of them is a removed dead
+        disk -- leaves no pair entry, matching post-``remove_disk``
+        state).
+        """
+        sc_id = previous.sc_id
+        current = self._superchunks.get(sc_id)
+        if current is None:
+            raise LayoutError(f"unknown superchunk {sc_id}")
+        self._pair_index.pop(current.disks, None)
+        slots = self._slots.get(receiver)
+        if slots is not None and sc_id in slots:
+            slots.remove(sc_id)
+        self._superchunks[sc_id] = previous
+        if all(d in self._slots for d in previous.disks):
+            self._pair_index[previous.disks] = sc_id
 
     def rehome(self, sc_id: int, disk_a: str, disk_b: str) -> Superchunk:
         """Re-create a fully-orphaned superchunk on a fresh disk pair.

@@ -78,6 +78,19 @@ class Lstor:
     def fail(self) -> None:
         self.failed = True
 
+    def reset(self, now: float = 0.0) -> None:
+        """Model a replaced Lstor: zero parity, empty journal, healthy.
+
+        Used when a node rejoins after recovery already re-homed its
+        data -- the replacement disk ships with a fresh parity device, so
+        the zero parity matches the (empty) disk it now covers.
+        """
+        self.failed = False
+        self._parity.clear()
+        self._parity_accum.clear()
+        self._absorbed_tags.clear()
+        self.journal.drop_all(now)
+
     def _check_alive(self) -> None:
         if self.failed:
             raise LstorFailedError(f"access to failed Lstor {self.name}")
@@ -207,6 +220,11 @@ class LstorStack:
     def alive_lstors(self) -> List[Lstor]:
         return [l for l in self.lstors if not l.failed]
 
+    def reset(self, now: float = 0.0) -> None:
+        """Replace every Lstor in the stack (see :meth:`Lstor.reset`)."""
+        for lstor in self.lstors:
+            lstor.reset(now)
+
     def absorb_update(
         self, shard_index: int, slot: int, old: Payload, new: Payload, tag=None
     ) -> None:
@@ -217,7 +235,10 @@ class LstorStack:
         ``tag`` deduplicates replays (see :meth:`Lstor.absorb`).
         """
         if self._codec is None:
-            self.lstors[0].absorb(slot, old.xor(new), tag=tag)
+            if not self.lstors[0].failed:
+                # A failed Lstor absorbs nothing: the disk keeps serving,
+                # degraded to plain replication until the device is reset.
+                self.lstors[0].absorb(slot, old.xor(new), tag=tag)
             return
         if not isinstance(old, BytesPayload) or not isinstance(new, BytesPayload):
             raise TypeError("stacked Lstors require BytesPayload data")

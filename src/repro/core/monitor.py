@@ -11,6 +11,19 @@ independent single recoveries.
 sender per DataNode and one detector loop.  Loops are stoppable so the
 event heap can drain (`stop()`), and the detector exposes the recovery
 reports it produced for inspection.
+
+Failure-lifecycle semantics (the hardened behavior):
+
+- heartbeats go to the NameNode's node (falling back to the first
+  client's node, then to skipping the network charge entirely on
+  degenerate single-endpoint clusters),
+- the detector *spawns* recoveries as child processes, so a sweep is
+  never blocked behind an in-flight recovery -- a second failure during
+  a long rebuild is detected on schedule,
+- a revived node re-enters through :meth:`rejoin`: it re-registers,
+  sends a block report for reconciliation, has its orphaned/stale
+  replicas purged, and leaves the ``_handled`` quarantine so a *second*
+  failure of the same node is detectable again.
 """
 
 from __future__ import annotations
@@ -19,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.core.recovery import RecoveryManager, RecoveryOptions, RecoveryReport
+from repro.errors import ReproError
 from repro.sim.engine import Process
 
 
@@ -59,6 +73,15 @@ class ClusterMonitor:
         self._processes: List[Process] = []
         self.reports: List[RecoveryReport] = []
         self.detected: List[Tuple[float, Tuple[str, ...]]] = []
+        #: In-flight recovery child processes (detection never blocks on
+        #: them; they are kept so tests and drains can await them).
+        self.recoveries: List[Process] = []
+        #: (time, dead set, exception) per recovery that failed -- e.g. a
+        #: receiver that died mid-remirror.  The next sweep sees the new
+        #: casualty and recovers it in turn.
+        self.recovery_errors: List[Tuple[float, Tuple[str, ...], ReproError]] = []
+        #: (time, name) per node readmitted through :meth:`rejoin`.
+        self.rejoined: List[Tuple[float, str]] = []
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -89,18 +112,38 @@ class ClusterMonitor:
     def _healthy(self, datanode) -> bool:
         return datanode.alive and not datanode.disk.failed and datanode.node.alive
 
+    def _heartbeat_target_nic(self, datanode):
+        """NIC the heartbeat RPC lands on: the NameNode's node.
+
+        Falls back to the first client's node (the historical endpoint)
+        when the facade does not expose ``namenode_node``, and to None --
+        no network charge -- when no endpoint exists at all (a bare
+        cluster with neither attribute).  The DataNode collocated with
+        the NameNode still charges its loopback flow, keeping every
+        node's heartbeat on the same clock.
+        """
+        node = getattr(self.dfs, "namenode_node", None)
+        if node is None:
+            clients = getattr(self.dfs, "clients", None)
+            if clients:
+                node = clients[0].node
+        if node is None:
+            return None
+        return node.primary_nic
+
     def _heartbeat_loop(self, datanode) -> Generator:
         interval = self.config.heartbeat_interval
         while self._running:
             if self._healthy(datanode):
                 # The heartbeat is a tiny control message; its network
                 # cost is negligible and charged as the ack size.
-                flow = self.dfs.switch.transfer(
-                    datanode.node.primary_nic,
-                    self.dfs.clients[0].node.primary_nic,
-                    self.dfs.config.ack_size,
-                )
-                yield flow
+                target_nic = self._heartbeat_target_nic(datanode)
+                if target_nic is not None:
+                    yield self.dfs.switch.transfer(
+                        datanode.node.primary_nic,
+                        target_nic,
+                        self.dfs.config.ack_size,
+                    )
                 self._last_heartbeat[datanode.name] = self.sim.now
             yield self.sim.timeout(interval)
         return None
@@ -125,13 +168,65 @@ class ClusterMonitor:
             stale = self._stale_names()
             if not stale:
                 continue
+            stale = self._with_doomed_partners(stale)
             self.detected.append((self.sim.now, tuple(sorted(stale))))
-            yield from self._handle_failures(stale)
+            # Quarantine *before* spawning: the next sweep (which is not
+            # blocked behind this recovery) must not re-detect the set.
+            self._handled.update(stale)
+            self.recoveries.append(
+                self.sim.process(
+                    self._handle_failures(stale),
+                    name=f"recovery:{'+'.join(sorted(stale))}",
+                )
+            )
         return None
 
     def _handle_failures(self, stale: List[str]) -> Generator:
-        """Run the right recovery for this sweep's dead set."""
-        self._handled.update(stale)
+        """Child-process body: run the right recovery for one dead set.
+
+        Runs concurrently with further detection sweeps.  A recovery
+        failing (say, its receiver died mid-remirror) is recorded in
+        ``recovery_errors`` rather than crashing the monitor; the next
+        sweep detects the new casualty independently.
+        """
+        try:
+            yield from self._recover_set(stale)
+        except ReproError as exc:
+            self.recovery_errors.append(
+                (self.sim.now, tuple(sorted(stale)), exc)
+            )
+        return None
+
+    def _with_doomed_partners(self, stale: List[str]) -> List[str]:
+        """Expand a dead set with already-unhealthy superchunk partners.
+
+        A simultaneous double failure can straddle the staleness bound by
+        a fraction of a heartbeat; treating the halves as two independent
+        single failures would make the first recovery read from the other
+        (dead) disk.  Any sharing partner that is *currently* unhealthy
+        has also stopped heartbeating -- it is doomed to be declared dead
+        next sweep anyway -- so it is co-detected now and the pair gets
+        the Lstor-assisted double recovery it needs.
+        """
+        layout = getattr(self.dfs, "layout", None)
+        if layout is None:
+            return list(stale)
+        expanded = list(stale)
+        index = 0
+        while index < len(expanded):
+            name = expanded[index]
+            index += 1
+            if name not in layout.disks:
+                continue
+            for sc_id in layout.superchunks_of(name):
+                partner = layout.superchunk(sc_id).mirror_of(name)
+                if partner in expanded or partner in self._handled:
+                    continue
+                if not self._healthy(self.dfs.namenode.datanode(partner)):
+                    expanded.append(partner)
+        return expanded
+
+    def _recover_set(self, stale: List[str]) -> Generator:
         # Pair up disks that share a superchunk: those need the
         # Lstor-assisted double recovery; the rest are single failures.
         remaining = list(stale)
@@ -143,15 +238,29 @@ class ClusterMonitor:
             remaining.remove(a)
             remaining.remove(b)
             report = yield from self.manager.double_failure_body(
-                a, b, options=self.recovery_options
+                a, b, options=self.recovery_options, tolerate_loss=True
             )
-            self.reports.append(report)
+            self._note_report(report, stale)
         for name in remaining:
             report = yield from self.manager.single_failure_body(
                 name, options=self.recovery_options
             )
-            self.reports.append(report)
+            self._note_report(report, stale)
         return None
+
+    def _note_report(self, report, stale: List[str]) -> None:
+        self.reports.append(report)
+        # Remirrors that a stacked failure aborted mid-copy: the metadata
+        # rolled back, so the next sweep can retry or degrade gracefully,
+        # but the operator should still see them.
+        for _entry, exc in report.failed_remirrors:
+            self.recovery_errors.append(
+                (self.sim.now, tuple(sorted(stale)), exc)
+            )
+        for _sc_id, exc in report.lost_superchunks:
+            self.recovery_errors.append(
+                (self.sim.now, tuple(sorted(stale)), exc)
+            )
 
     def _find_sharing_pair(self, names: List[str]) -> Optional[Tuple[str, str]]:
         layout = self.dfs.layout
@@ -160,3 +269,47 @@ class ClusterMonitor:
                 if a in layout.disks and b in layout.disks and layout.shared(a, b) is not None:
                     return a, b
         return None
+
+    # ------------------------------------------------------------------
+    # Rejoin (the revival path).
+    # ------------------------------------------------------------------
+    def rejoin(self, datanode) -> Dict[str, List[str]]:
+        """Readmit a revived DataNode (node restarted, disk replaced).
+
+        The HDFS re-registration protocol: the node comes back up, sends
+        a block report, and the NameNode reconciles it against the block
+        map.  Replicas that are still current are re-adopted; orphaned
+        and stale replicas are purged.  A node whose data was already
+        re-homed by recovery (its disk left the layout) restarts from
+        wiped media.  Either way the node leaves the ``_handled``
+        quarantine and its staleness clock restarts, so a *second*
+        failure is detectable.  Returns the reconciliation verdict.
+        """
+        name = datanode.name
+        datanode.alive = True
+        layout = getattr(self.dfs, "layout", None)
+        in_layout = layout is None or name in layout.disks
+        readopted: List[str] = []
+        orphans: List[str] = []
+        stale: List[str] = []
+        if in_layout:
+            held = datanode.block_report()
+            readopt = getattr(self.dfs.namenode, "readopt_replicas", None)
+            if readopt is not None:
+                readopted, orphans, stale = readopt(
+                    name, held, version_of=datanode.version_of
+                )
+            for block_name in list(orphans) + list(stale):
+                datanode.purge_block(block_name)
+        else:
+            # Recovery already re-homed everything this disk held; the
+            # replacement starts empty (fresh parity, clean journal) and
+            # re-enters the layout as an empty disk so it can legally
+            # receive superchunks again.
+            orphans = datanode.block_report()
+            datanode.wipe_storage()
+            layout.add_disk(name)
+        self._handled.discard(name)
+        self._last_heartbeat[name] = self.sim.now
+        self.rejoined.append((self.sim.now, name))
+        return {"readopted": readopted, "orphans": orphans, "stale": stale}

@@ -222,7 +222,7 @@ class RaidpDataNode(DataNode):
         delta = old.xor(payload)
 
         record = None
-        if self.raidp.enable_journal:
+        if self._journal_active():
             record = self.lstors.primary.journal.append(
                 block_name=block.name,
                 sc_id=sc_id,
@@ -265,9 +265,19 @@ class RaidpDataNode(DataNode):
 
         self._install_content(locations, payload)
         if record is not None:
-            self.lstors.primary.journal.mark_committed(record.record_id)
+            if not self.lstors.primary.failed:
+                self.lstors.primary.journal.mark_committed(record.record_id)
             yield from self._send_ack(locations, record)
         return None
+
+    def _journal_active(self) -> bool:
+        """Journal only while the primary Lstor lives.
+
+        Losing the Lstor degrades the disk to plain replication: data
+        keeps being served and written, but there is no parity to protect
+        and no journal device to append to (paper's Lstor-loss case).
+        """
+        return self.raidp.enable_journal and not self.lstors.primary.failed
 
     def _stream_block(
         self,
@@ -297,12 +307,12 @@ class RaidpDataNode(DataNode):
             if self.raidp.enable_journal
             else 5 * units.MiB // 8
         )
-        journal = self.lstors.primary.journal
         offset = 0
         while offset < block.size:
             run = min(granularity, block.size - offset)
             record = None
-            if self.raidp.enable_journal:
+            if self._journal_active():
+                journal = self.lstors.primary.journal
                 record = journal.append(
                     block_name=block.name,
                     sc_id=sc_id,
@@ -324,14 +334,15 @@ class RaidpDataNode(DataNode):
             ):
                 yield from self.fs.read(block.name, offset, run)
             yield from self.fs.write(block.name, offset, run)
-            if self.raidp.enable_journal:
+            if record is not None:
                 yield from self.fs.sync()
                 # Per-packet remote acknowledgment, charged as latency
                 # rather than modeled as per-packet flows (see docstring).
                 yield self.sim.timeout(2 * self.switch.BASE_LATENCY)
-                journal.mark_committed(record.record_id)
-                journal.mark_acked(record.record_id)
-                journal.clear(record.record_id, self.sim.now)
+                if not self.lstors.primary.failed:
+                    journal.mark_committed(record.record_id)
+                    journal.mark_acked(record.record_id)
+                    journal.clear(record.record_id, self.sim.now)
             if self.raidp.enable_parity:
                 yield self.sim.timeout(run / self.raidp.lstor_write_rate)
             offset += run
@@ -355,7 +366,8 @@ class RaidpDataNode(DataNode):
     ) -> Generator:
         """Logical parity update plus the device-transfer time charge."""
         self.lstors.absorb_update(self.shard_index_of(sc_id), slot, old, new, tag=tag)
-        yield self.sim.timeout(nbytes / self.raidp.lstor_write_rate)
+        if self.lstors.alive_lstors():  # dead devices absorb and cost nothing
+            yield self.sim.timeout(nbytes / self.raidp.lstor_write_rate)
         return None
 
     def _placement_of(self, locations: BlockLocations) -> Tuple[int, int]:
@@ -399,7 +411,7 @@ class RaidpDataNode(DataNode):
         new = self._patched_content(block, locations.version, old, block_offset, nbytes)
 
         record = None
-        if self.raidp.enable_journal:
+        if self._journal_active():
             record = self.lstors.primary.journal.append(
                 block_name=block.name,
                 sc_id=sc_id,
@@ -425,7 +437,8 @@ class RaidpDataNode(DataNode):
             yield self.sim.timeout(nbytes / self.raidp.lstor_write_rate)
         self._install_content(locations, new)
         if record is not None:
-            self.lstors.primary.journal.mark_committed(record.record_id)
+            if not self.lstors.primary.failed:
+                self.lstors.primary.journal.mark_committed(record.record_id)
             yield from self._send_ack(locations, record)
         return None
 
@@ -456,8 +469,9 @@ class RaidpDataNode(DataNode):
         partner = self._partner_of(locations)
         if partner is None:
             # Degraded single-replica write: nothing to wait for.
-            self.lstors.primary.journal.mark_acked(record.record_id)
-            self.lstors.primary.journal.clear(record.record_id, self.sim.now)
+            if not self.lstors.primary.failed:
+                self.lstors.primary.journal.mark_acked(record.record_id)
+                self.lstors.primary.journal.clear(record.record_id, self.sim.now)
             return None
         self._awaiting_ack[key] = record
         # Did the partner's ack already arrive?
@@ -479,9 +493,29 @@ class RaidpDataNode(DataNode):
 
     def _clear_record(self, key: Tuple[str, int]) -> None:
         record = self._awaiting_ack.pop(key)
+        if self.lstors.primary.failed:
+            return  # the journal died with its Lstor; nothing left to clear
         journal = self.lstors.primary.journal
         journal.mark_acked(record.record_id)
         journal.clear(record.record_id, self.sim.now)
+
+    def resolve_orphan_ack(self, block_name: str, version: int) -> bool:
+        """Settle a journal record whose mirror died before acknowledging.
+
+        Called by the client after a pipeline recovery: the surviving
+        replica's record would otherwise wait forever for the dead
+        partner's ack.  The write is durable here and the partner is
+        gone, so the record is acknowledged-by-decree and cleared.
+        Returns True when a record was actually resolved.
+        """
+        key = (block_name, version)
+        record = self._awaiting_ack.get(key)
+        if record is None:
+            # The ack raced in (or the record was never ours to clear).
+            self._pending_acks.pop(key, None)
+            return False
+        self._clear_record(key)
+        return True
 
     def _partner_of(self, locations: BlockLocations) -> Optional["RaidpDataNode"]:
         if self.namenode is None:
@@ -492,6 +526,50 @@ class RaidpDataNode(DataNode):
         partner = self.namenode.datanode(others[0])
         assert isinstance(partner, RaidpDataNode)
         return partner
+
+    # ------------------------------------------------------------------
+    # Rejoin cleanup.
+    # ------------------------------------------------------------------
+    def purge_block(self, block_name: str) -> None:
+        """Drop one replica and keep the local parity consistent.
+
+        Rejoin-time cleanup for orphaned/stale replicas: the parity
+        contribution of the dropped content is folded out (deferred-work
+        accounting, charges no time) before the slot is unbound, so the
+        surviving Lstor still matches the disk.
+        """
+        placement = self._slot_of.pop(block_name, None)
+        if placement is not None:
+            sc_id, slot = placement
+            self._block_at.pop(placement, None)
+            if (
+                self.raidp.enable_parity
+                and not self.lstors.primary.failed
+                and sc_id in self.layout.superchunks
+                and self.name in self.layout.superchunk(sc_id).disks
+            ):
+                old = self.content_of(block_name)
+                if not old.is_zero():
+                    self.lstors.absorb_update(
+                        self.shard_index_of(sc_id),
+                        slot,
+                        old,
+                        self.factory.zero(self.config.block_size),
+                    )
+        super().purge_block(block_name)
+
+    def wipe_storage(self) -> None:
+        """Replaced disk *and* replaced Lstor: empty media, zero parity,
+        clean journal, no dangling ack state."""
+        for block_name in list(self._contents):
+            self.drop_content(block_name)
+            if self.fs.exists(block_name):
+                self.fs.delete(block_name)
+        self._slot_of.clear()
+        self._block_at.clear()
+        self._pending_acks.clear()
+        self._awaiting_ack.clear()
+        self.lstors.reset(self.sim.now)
 
     # ------------------------------------------------------------------
     # Recovery-side accessors.

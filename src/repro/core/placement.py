@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from repro.core.layout import Layout, LayoutSpec
 from repro.errors import CapacityError, PlacementError
 from repro.hdfs.block import Block, BlockLocations
-from repro.hdfs.namenode import PlacementPolicy
+from repro.hdfs.namenode import PlacementPolicy, healthy_datanode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hdfs.datanode import DataNode
@@ -114,7 +114,10 @@ class RaidpPlacement(PlacementPolicy):
         writer: Optional[str],
         datanodes: Sequence["DataNode"],
     ) -> BlockLocations:
-        alive = {dn.name for dn in datanodes if dn.alive}
+        # The full health predicate: a disk that already died but has not
+        # yet been declared dead by the heartbeat detector must not
+        # receive new blocks.
+        alive = {dn.name for dn in datanodes if healthy_datanode(dn)}
         candidates = self._eligible_superchunks(alive)
         if not candidates:
             raise PlacementError(

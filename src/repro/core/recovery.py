@@ -30,8 +30,9 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro import units
 from repro.core.cluster import RaidpCluster
+from repro.core.journal import RecordState
 from repro.core.node import RaidpDataNode
-from repro.errors import DataLossError, MatchingError, RecoveryError
+from repro.errors import DataLossError, MatchingError, RecoveryError, ReproError
 from repro.hdfs.block import BlockLocations
 from repro.matching.hungarian import DynamicHungarian
 from repro.sim.engine import Simulator
@@ -92,6 +93,21 @@ class RecoveryReport:
     reconstructed_sc: Optional[int] = None
     bytes_reconstructed: int = 0
     plan_cost: float = 0.0
+    #: The dead disks this recovery covered (one for a single failure,
+    #: two for a double) -- lets auditors match reports to failures.
+    failed_disks: Tuple[str, ...] = ()
+    #: ((sc_id, sender, receiver), error) per remirror that failed --
+    #: e.g. a sender dying mid-copy (a stacked failure).  The rest of
+    #: the recovery still completes; the superchunk's metadata rolls
+    #: back to its pre-remirror state.
+    failed_remirrors: List[Tuple[Tuple[int, str, str], ReproError]] = field(
+        default_factory=list
+    )
+    #: (sc_id, error) per superchunk whose reconstruction was impossible
+    #: -- more overlapping failures than the two the design tolerates.
+    #: Recorded rather than raised so the recovery can still salvage the
+    #: singly-lost superchunks around it.
+    lost_superchunks: List[Tuple[int, ReproError]] = field(default_factory=list)
 
 
 class RecoveryManager:
@@ -122,7 +138,24 @@ class RecoveryManager:
         ]
         if not orphans:
             return []
-        senders = [(sc.sc_id, sc.mirror_of(failed)) for sc in orphans]
+        senders = []
+        for sc in orphans:
+            sender = sc.mirror_of(failed)
+            survivor = self.dfs.datanode_by_name(sender)
+            if sender not in layout.disks or not (
+                survivor.alive
+                and not survivor.disk.failed
+                and survivor.node.alive
+            ):
+                # The surviving mirror is itself dead: the superchunk is
+                # doubly lost and remirroring cannot help.  Leave it for
+                # the sharing pair's Lstor reconstruction (or, beyond the
+                # design point, for degraded reads) rather than planning
+                # a copy from a disk that cannot be read.
+                continue
+            senders.append((sc.sc_id, sender))
+        if not senders:
+            return []
         # A receiver must be healthy in fact, not just in metadata: a
         # sweeping failure (whole server down) may not have marked every
         # sibling disk dead yet.
@@ -264,9 +297,16 @@ class RecoveryManager:
     ) -> Generator:
         """Process body: plan, transfer, rewire metadata; returns a report."""
         options = options or RecoveryOptions()
-        report = RecoveryReport()
+        report = RecoveryReport(failed_disks=(failed,))
         started = self.sim.now
         self.dfs.namenode.mark_datanode_dead(failed)
+        if failed not in self.dfs.layout.disks:
+            # A re-failure of a disk recovery already evicted (e.g. a
+            # rejoined node dying again before the balancer re-admitted
+            # it): its data was re-homed the first time, so there is
+            # nothing to move -- just the liveness bookkeeping above.
+            report.duration = self.sim.now - started
+            return report
         # Divert writes away from the affected superchunks until the
         # recovery completes (paper §3.4).
         frozen = list(self.dfs.layout.superchunks_of(failed))
@@ -285,8 +325,16 @@ class RecoveryManager:
                     )
                     for sc_id, sender, receiver in plan
                 ]
-                yield self.sim.all_of(transfers)
-            report.remirrored = plan
+                # Await each transfer individually: one superchunk's
+                # sender dying mid-copy (a stacked failure) must not
+                # abort the others.
+                for entry, proc in zip(plan, transfers):
+                    try:
+                        yield proc
+                    except ReproError as exc:
+                        report.failed_remirrors.append((entry, exc))
+                    else:
+                        report.remirrored.append(entry)
         finally:
             for sc_id in frozen:
                 self.dfs.map.unfreeze(sc_id)
@@ -301,28 +349,48 @@ class RecoveryManager:
         src = dfs.datanode_by_name(sender)
         dst = dfs.datanode_by_name(receiver)
         blocks = dfs.map.blocks_in(sc_id)
+        previous = dfs.layout.superchunk(sc_id)
         updated = dfs.layout.remirror(sc_id, receiver)
         dfs.map.register_superchunk(sc_id)
-        for slot in sorted(blocks):
-            block_name = blocks[slot]
-            locations = self._locations_by_name(block_name)
-            if locations is None:
-                continue  # a preallocation filler, not a live block
-            payload = src.content_of(block_name)
-            # Read at the sender, stream, write at the receiver.
-            read = self.sim.process(
-                src.fs.read(block_name, 0, locations.block.size)
-            )
-            flow = dfs.switch.transfer(
-                src.node.nics[options.nic_index],
-                dst.node.nics[options.nic_index],
-                locations.block.size,
-            )
-            yield self.sim.all_of([read, flow])
-            dst.install_recovered_block(locations, payload)
-            yield from dst.fs.write(locations.block.name, 0, locations.block.size)
-            if receiver not in locations.datanodes:
-                locations.datanodes.append(receiver)
+        installed: List[BlockLocations] = []
+        try:
+            for slot in sorted(blocks):
+                block_name = blocks[slot]
+                locations = self._locations_by_name(block_name)
+                if locations is None:
+                    continue  # a preallocation filler, not a live block
+                # Read at the sender, stream, write at the receiver.
+                read = self.sim.process(
+                    src.fs.read(block_name, 0, locations.block.size)
+                )
+                flow = dfs.switch.transfer(
+                    src.node.nics[options.nic_index],
+                    dst.node.nics[options.nic_index],
+                    locations.block.size,
+                )
+                yield self.sim.all_of([read, flow])
+                # Capture the content at install time and publish the new
+                # replica in the same instant: a rewrite landing on the
+                # sender mid-copy is resent (HDFS pipeline-recovery style),
+                # and one landing after this point already targets the
+                # receiver, so the copy can never go stale.
+                payload = src.content_of(block_name)
+                dst.install_recovered_block(locations, payload)
+                if receiver not in locations.datanodes:
+                    locations.datanodes.append(receiver)
+                installed.append(locations)
+                yield from dst.fs.write(locations.block.name, 0, locations.block.size)
+        except ReproError:
+            # A stacked failure killed the sender (or receiver) mid-copy.
+            # Roll the half-built replica back -- purge unwinds both the
+            # content and the receiver's absorbed parity -- so metadata
+            # never advertises a copy that does not exist.
+            for locations in installed:
+                if receiver in locations.datanodes:
+                    locations.datanodes.remove(receiver)
+                dst.purge_block(locations.block.name)
+            dfs.layout.restore_superchunk(previous, receiver)
+            raise
         return None
 
     def _locations_by_name(self, block_name: str) -> Optional[BlockLocations]:
@@ -368,6 +436,7 @@ class RecoveryManager:
         options: Optional[RecoveryOptions] = None,
         remirror_rest: bool = True,
         install: bool = True,
+        tolerate_loss: bool = False,
     ) -> Generator:
         """Process body for a simultaneous two-disk failure.
 
@@ -376,10 +445,16 @@ class RecoveryManager:
         re-replicates both disks' remaining superchunks like two single
         failures.  Returns the report; reconstruction correctness is
         verified bit-exactly by the caller via the cluster invariants.
+
+        With ``tolerate_loss`` (the monitor's mode), a shared superchunk
+        that cannot be reconstructed -- a third overlapping casualty
+        broke the XOR chain, which is past the two-failure design point
+        -- is recorded in ``report.lost_superchunks`` and the rest of
+        the recovery proceeds; without it the error propagates.
         """
         options = options or RecoveryOptions()
         dfs = self.dfs
-        report = RecoveryReport()
+        report = RecoveryReport(failed_disks=(failed_a, failed_b))
         started = self.sim.now
         shared = dfs.layout.shared(failed_a, failed_b)
         # Divert writes away from both disks' superchunks for the whole
@@ -387,80 +462,138 @@ class RecoveryManager:
         frozen = {
             sc_id
             for failed in (failed_a, failed_b)
+            if failed in dfs.layout.disks
             for sc_id in dfs.layout.superchunks_of(failed)
         }
         for sc_id in frozen:
             dfs.map.freeze(sc_id)
-        lost_source = dfs.datanode_by_name(failed_a)
-        if lost_source.lstors.primary.failed:
-            lost_source = dfs.datanode_by_name(failed_b)
-            if lost_source.lstors.primary.failed:
-                raise DataLossError(
-                    "both Lstors gone: the shared superchunk is unrecoverable"
-                )
-        # Source superchunks *before* the layout forgets the failed disks.
-        source_scs = [
-            sc_id
-            for sc_id in dfs.layout.superchunks_of(lost_source.name)
-            if sc_id != shared
-        ]
-        mirrors = {
-            sc_id: dfs.layout.superchunk(sc_id).mirror_of(lost_source.name)
-            for sc_id in source_scs
-        }
-        dfs.namenode.mark_datanode_dead(failed_a)
-        dfs.namenode.mark_datanode_dead(failed_b)
+        try:
+            dfs.namenode.mark_datanode_dead(failed_a)
+            dfs.namenode.mark_datanode_dead(failed_b)
 
-        rebuilt: Dict[int, Payload] = {}
-        if shared is not None:
-            receiver_name = recovery_node or self._pick_recovery_node(
-                exclude={failed_a, failed_b}
-            )
-            other_source = dfs.datanode_by_name(
-                failed_b if lost_source.name == failed_a else failed_a
-            )
-            if options.parallel_halves and not other_source.lstors.primary.failed:
-                rebuilt = yield from self._reconstruct_halves(
-                    shared, lost_source, other_source, receiver_name, options
-                )
-            else:
-                rebuilt = yield from self._reconstruct_superchunk(
-                    shared, lost_source, mirrors, receiver_name, options
-                )
-            report.reconstructed_sc = shared
-            report.bytes_reconstructed = len(rebuilt) * dfs.config.block_size
-            if install:
-                # Re-home onto a legal pair and rewire metadata.  §6.4's
-                # timing experiment measures reconstruction only (and a
-                # maximally-dense layout has no legal pair left), so the
-                # Table 2 harness passes install=False.
-                self._install_reconstruction(
-                    shared, rebuilt, receiver_name, failed_a, failed_b
-                )
+            rebuilt: Dict[int, Payload] = {}
+            if shared is not None:
+                try:
+                    lost_source = self._pick_lost_source(failed_a, failed_b, shared)
+                    # Source superchunks *before* the layout forgets the
+                    # failed disks.
+                    source_scs = [
+                        sc_id
+                        for sc_id in dfs.layout.superchunks_of(lost_source.name)
+                        if sc_id != shared
+                    ]
+                    mirrors = {
+                        sc_id: dfs.layout.superchunk(sc_id).mirror_of(
+                            lost_source.name
+                        )
+                        for sc_id in source_scs
+                    }
+                    receiver_name = recovery_node or self._pick_recovery_node(
+                        exclude={failed_a, failed_b}
+                    )
+                    other_source = dfs.datanode_by_name(
+                        failed_b if lost_source.name == failed_a else failed_a
+                    )
+                    if (
+                        options.parallel_halves
+                        and not other_source.lstors.primary.failed
+                    ):
+                        rebuilt = yield from self._reconstruct_halves(
+                            shared, lost_source, other_source, receiver_name, options
+                        )
+                    else:
+                        rebuilt = yield from self._reconstruct_superchunk(
+                            shared, lost_source, mirrors, receiver_name, options
+                        )
+                    report.reconstructed_sc = shared
+                    report.bytes_reconstructed = len(rebuilt) * dfs.config.block_size
+                    if install:
+                        # Re-home onto a legal pair and rewire metadata.  §6.4's
+                        # timing experiment measures reconstruction only (and a
+                        # maximally-dense layout has no legal pair left), so the
+                        # Table 2 harness passes install=False.
+                        self._install_reconstruction(
+                            shared, rebuilt, receiver_name, failed_a, failed_b
+                        )
+                except ReproError as exc:
+                    # A third overlapping casualty broke the XOR chain (or
+                    # no healthy receiver remains).  That superchunk is
+                    # past the two-failure design point; record the loss
+                    # and still salvage everything singly lost.
+                    if not tolerate_loss:
+                        raise
+                    report.lost_superchunks.append((shared, exc))
 
-        for failed in (failed_a, failed_b):
-            if failed in dfs.layout.disks:  # _install_reconstruction may have removed them
-                dfs.layout.remove_disk(failed)
-        if remirror_rest:
             for failed in (failed_a, failed_b):
-                plan = self.plan_single_failure(failed, options)
-                if plan:
+                if failed in dfs.layout.disks:  # _install_reconstruction may have removed them
+                    dfs.layout.remove_disk(failed)
+            if remirror_rest:
+                for failed in (failed_a, failed_b):
+                    plan = self.plan_single_failure(failed, options)
+                    if not plan:
+                        continue
                     procs = [
                         self.sim.process(
                             self._remirror_superchunk(sc, s, r, options)
                         )
                         for sc, s, r in plan
                     ]
-                    yield self.sim.all_of(procs)
-                report.remirrored.extend(plan)
-        for sc_id in frozen:
-            dfs.map.unfreeze(sc_id)
+                    # Isolated per superchunk, as in single recovery: a
+                    # stacked failure mid-copy costs one chunk, not all.
+                    for entry, proc in zip(plan, procs):
+                        try:
+                            yield proc
+                        except ReproError as exc:
+                            report.failed_remirrors.append((entry, exc))
+                        else:
+                            report.remirrored.append(entry)
+        finally:
+            for sc_id in frozen:
+                dfs.map.unfreeze(sc_id)
         report.duration = self.sim.now - started
         return report
 
+    def _pick_lost_source(self, failed_a: str, failed_b: str, shared):
+        """Choose which failed disk's Lstor drives the reconstruction.
+
+        Either side works in a clean double failure.  When a *third*
+        overlapping failure killed the mirror of one side's source
+        superchunks, that side's XOR chain cannot be read back -- prefer
+        the side whose surviving mirrors are all actually healthy, so a
+        co-detected extra failure does not abort the whole recovery.
+        """
+        dfs = self.dfs
+        candidates = []
+        for name in (failed_a, failed_b):
+            datanode = dfs.datanode_by_name(name)
+            if datanode.lstors.primary.failed:
+                continue
+            mirrors_ok = True
+            for sc_id in dfs.layout.superchunks_of(name):
+                if sc_id == shared:
+                    continue
+                mirror = dfs.datanode_by_name(
+                    dfs.layout.superchunk(sc_id).mirror_of(name)
+                )
+                if not (
+                    mirror.alive and not mirror.disk.failed and mirror.node.alive
+                ):
+                    mirrors_ok = False
+                    break
+            candidates.append((not mirrors_ok, name))
+        if not candidates:
+            raise DataLossError(
+                "both Lstors gone: the shared superchunk is unrecoverable"
+            )
+        candidates.sort()
+        return dfs.datanode_by_name(candidates[0][1])
+
     def _pick_recovery_node(self, exclude: set) -> str:
+        layout = self.dfs.layout
         for dn in self.dfs.datanodes:
-            if dn.alive and dn.name not in exclude:
+            if dn.name in exclude or dn.name not in layout.disks:
+                continue
+            if dn.alive and not dn.disk.failed and dn.node.alive:
                 return dn.name
         raise RecoveryError("no live node available for reconstruction")
 
@@ -497,6 +630,37 @@ class RecoveryManager:
                     f"mirror {mirror_name} of superchunk {sc_id} is dead too"
                 )
             surviving[sc_id] = mirror.superchunk_payloads(sc_id)
+        # Journal replay (crash consistency): a write that was in flight
+        # when the source disk died may have landed on the surviving
+        # mirror without its delta ever being absorbed into the source's
+        # parity.  The source's Lstor survives -- RAIDP's premise -- and
+        # every un-absorbed write still sits in its journal as an
+        # APPENDED record whose ``old_data`` is exactly the content the
+        # parity covers; substituting it for the mirror's newer copy
+        # keeps the XOR chain consistent.
+        replayed = set()
+        roll_forward: Dict[int, Payload] = {}
+        for record in lost_source.lstors.primary.journal.replay_candidates():
+            if record.state is not RecordState.APPENDED:
+                continue
+            key = (record.sc_id, record.slot)
+            if key in replayed:
+                continue
+            replayed.add(key)
+            payloads = surviving.get(record.sc_id)
+            if payloads is not None:
+                payloads[record.slot] = record.old_data
+            elif record.sc_id == shared_sc:
+                # The record is *for* the superchunk being reconstructed:
+                # the write may have completed on the other (also dead)
+                # replica, in which case the NameNode kept the new
+                # version and the journal's new_data is the only
+                # surviving copy.  If the client rolled the version back
+                # (no replica survived the write), the parity's old view
+                # is already correct.
+                locations = self._locations_by_name(record.block_name)
+                if locations is not None and locations.version == record.version:
+                    roll_forward[record.slot] = record.new_data
         if slots is None:
             slots = range(dfs.map.slots_per_superchunk)
         rebuilt: Dict[int, Payload] = {}
@@ -513,6 +677,9 @@ class RecoveryManager:
             accum = chain.result()
             if not accum.is_zero():
                 rebuilt[slot] = accum
+        for slot, payload in roll_forward.items():
+            if slot in slots:
+                rebuilt[slot] = payload
 
         # --- timed plane: one puller thread per source + one for parity.
         lock_whole = Lock(self.sim, name="reconstruct")
@@ -702,10 +869,19 @@ class RecoveryManager:
         layout = self.dfs.layout
         for dn in self.dfs.datanodes:
             name = dn.name
-            if not dn.alive or name == receiver or name in exclude:
+            if name == receiver or name in exclude:
                 continue
-            if layout.shared(receiver, name) is None:
-                return name
+            if not (dn.alive and not dn.disk.failed and dn.node.alive):
+                continue
+            if name not in layout.disks:
+                continue  # rejoined-from-wipe disks re-enter via add_disk
+            if layout.same_domain(receiver, name):
+                continue
+            if layout.shared(receiver, name) is not None:
+                continue
+            if len(layout.superchunks_of(name)) >= layout.max_superchunks(name):
+                continue
+            return name
         raise RecoveryError(
             f"no legal mirror partner for reconstructed superchunk on {receiver}"
         )

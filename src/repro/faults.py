@@ -1,0 +1,374 @@
+"""Deterministic, seedable fault injection for simulated clusters.
+
+Any workload or experiment can run under churn reproducibly: a
+:class:`FaultSchedule` is a declarative, time-sorted list of
+:class:`Fault` records (disk failure at t, node crash/restart, transient
+NIC degradation, Lstor loss), and a :class:`FaultInjector` installs the
+schedule as a simulation process that applies each fault at its instant.
+Two runs with the same cluster seed and the same schedule produce
+bit-identical histories -- the property the chaos soak asserts.
+
+Fault kinds and their semantics:
+
+``disk_fail``
+    The target DataNode's disk dies (in-flight and future I/O raises
+    :class:`~repro.errors.DiskFailedError`).  The heartbeat detector
+    notices and triggers recovery.
+``disk_replace``
+    The target DataNode's disk is swapped for an empty one (content
+    gone, head at zero).  Pair with a monitor rejoin to readmit it.
+``node_crash``
+    The target server fails wholesale: every disk on it dies and its
+    DataNodes stop serving.
+``node_restart``
+    The crashed server comes back with replaced disks.  When the
+    injector was given a monitor, each DataNode re-enters through
+    :meth:`~repro.core.monitor.ClusterMonitor.rejoin` (block report,
+    reconciliation, quarantine release); without one the DataNodes are
+    just marked alive again.
+``nic_degrade``
+    The target node's primary NIC runs at ``factor`` of its rates for
+    ``duration`` seconds, then restores -- a transient link fault.
+    In-flight flows are re-fair-shared at both edges.
+``lstor_fail``
+    The target DataNode's (primary) Lstor dies: parity is gone but the
+    disk keeps serving -- the paper's "Lstor loss" case, where RAIDP
+    degrades to plain 2-way replication for that disk.
+
+Targets are DataNode names for disk/Lstor faults and server (node)
+names for node/NIC faults; for single-disk servers the two coincide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Generator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.sim.engine import Process
+
+FAULT_KINDS = (
+    "disk_fail",
+    "disk_replace",
+    "node_crash",
+    "node_restart",
+    "nic_degrade",
+    "lstor_fail",
+)
+
+
+class FaultError(ReproError):
+    """A fault schedule is malformed or targets something unknown."""
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One scheduled fault.  Ordering is by time (schedule order)."""
+
+    at: float
+    kind: str
+    target: str
+    #: ``nic_degrade`` only: rate multiplier in (0, 1] and how long the
+    #: degradation lasts before the NIC restores.
+    factor: float = 1.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise FaultError("fault time must be non-negative")
+        if self.kind == "nic_degrade":
+            if not (0 < self.factor <= 1):
+                raise FaultError("nic_degrade factor must be in (0, 1]")
+            if self.duration <= 0:
+                raise FaultError("nic_degrade needs a positive duration")
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """What the injector actually did, at the simulated instant it did it."""
+
+    at: float
+    fault: Fault
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-sorted fault plan."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(sorted(self.faults)))
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def extended(self, *faults: Fault) -> "FaultSchedule":
+        return FaultSchedule(self.faults + tuple(faults))
+
+    def shifted(self, delta: float) -> "FaultSchedule":
+        """The same schedule, ``delta`` seconds later."""
+        return FaultSchedule(
+            tuple(replace(f, at=f.at + delta) for f in self.faults)
+        )
+
+    def validate(self, dfs) -> None:
+        """Check every target resolves against ``dfs`` before running."""
+        datanode_names = {dn.name for dn in dfs.datanodes}
+        node_names = {node.name for node in dfs.cluster.nodes}
+        for fault in self.faults:
+            if fault.kind in ("node_crash", "node_restart", "nic_degrade"):
+                if fault.target not in node_names and fault.target not in datanode_names:
+                    raise FaultError(
+                        f"{fault.kind} targets unknown node {fault.target!r}"
+                    )
+            elif fault.target not in datanode_names:
+                raise FaultError(
+                    f"{fault.kind} targets unknown datanode {fault.target!r}"
+                )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` to a cluster as a sim process."""
+
+    def __init__(self, dfs, schedule: FaultSchedule, monitor=None) -> None:
+        self.dfs = dfs
+        self.sim = dfs.sim
+        self.schedule = schedule
+        self.monitor = monitor
+        self.injected: List[InjectionRecord] = []
+        self._saved_rates: dict = {}
+        self._process: Optional[Process] = None
+        schedule.validate(dfs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        """Install the schedule walker; returns its process."""
+        if self._process is not None:
+            raise FaultError("injector already started")
+        self._process = self.sim.process(self._runner(), name="fault-injector")
+        return self._process
+
+    @property
+    def done(self) -> bool:
+        return self._process is not None and self._process.triggered
+
+    def _runner(self) -> Generator:
+        for fault in self.schedule:
+            delay = fault.at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            note = self._apply(fault)
+            self.injected.append(InjectionRecord(self.sim.now, fault, note))
+        return len(self.injected)
+
+    # ------------------------------------------------------------------
+    # Target resolution.
+    # ------------------------------------------------------------------
+    def _datanode(self, name: str):
+        return self.dfs.namenode.datanode(name)
+
+    def _node(self, name: str):
+        for node in self.dfs.cluster.nodes:
+            if node.name == name:
+                return node
+        # Allow naming a node by one of its DataNodes (multi-disk servers).
+        return self._datanode(name).node
+
+    def _datanodes_on(self, node) -> list:
+        return [dn for dn in self.dfs.datanodes if dn.node is node]
+
+    # ------------------------------------------------------------------
+    # Application.
+    # ------------------------------------------------------------------
+    def _apply(self, fault: Fault) -> str:
+        if fault.kind == "disk_fail":
+            datanode = self._datanode(fault.target)
+            datanode.disk.fail()
+            return f"disk {datanode.disk.name} failed"
+        if fault.kind == "disk_replace":
+            datanode = self._datanode(fault.target)
+            datanode.disk.repair()
+            return f"disk {datanode.disk.name} replaced"
+        if fault.kind == "node_crash":
+            node = self._node(fault.target)
+            node.fail()
+            return f"node {node.name} crashed ({len(node.disks)} disks down)"
+        if fault.kind == "node_restart":
+            node = self._node(fault.target)
+            node.restart()
+            rejoined = []
+            for datanode in self._datanodes_on(node):
+                if self.monitor is not None:
+                    self.monitor.rejoin(datanode)
+                else:
+                    datanode.alive = True
+                rejoined.append(datanode.name)
+            return f"node {node.name} restarted; rejoined {rejoined}"
+        if fault.kind == "nic_degrade":
+            node = self._node(fault.target)
+            nic = node.primary_nic
+            self._saved_rates.setdefault(nic, (nic.tx_rate, nic.rx_rate))
+            switch = self.dfs.switch
+            switch.set_nic_rates(
+                nic, nic.tx_rate * fault.factor, nic.rx_rate * fault.factor
+            )
+            self.sim.process(
+                self._restore_nic(nic, fault.duration),
+                name=f"nic-restore:{nic.name}",
+            )
+            return (
+                f"nic {nic.name} degraded to {fault.factor:.2f}x "
+                f"for {fault.duration:g}s"
+            )
+        if fault.kind == "lstor_fail":
+            datanode = self._datanode(fault.target)
+            datanode.lstors.primary.fail()
+            return f"lstor {datanode.lstors.primary.name} failed"
+        raise FaultError(f"unknown fault kind {fault.kind!r}")  # pragma: no cover
+
+    def _restore_nic(self, nic, duration: float) -> Generator:
+        yield self.sim.timeout(duration)
+        tx_rate, rx_rate = self._saved_rates.pop(nic)
+        self.dfs.switch.set_nic_rates(nic, tx_rate, rx_rate)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Seeded schedule construction.
+# ----------------------------------------------------------------------
+def chaos_schedule(
+    dfs,
+    seed: int,
+    window: Tuple[float, float] = (2.0, 10.0),
+    singles: int = 1,
+    doubles: int = 1,
+    node_crashes: int = 1,
+    nic_degrades: int = 1,
+    lstor_losses: int = 1,
+    restart_delay: float = 4.0,
+    min_gap: float = 3.5,
+) -> FaultSchedule:
+    """A randomized-but-seeded chaos plan over ``dfs``'s layout.
+
+    Deterministic given (cluster, seed): victims are drawn from the
+    sorted disk list with :class:`random.Random`.  The plan guarantees:
+
+    - ``doubles`` simultaneous failures of superchunk-*sharing* pairs
+      (the Lstor-reconstruction path),
+    - ``singles`` independent single-disk failures and ``node_crashes``
+      whole-node crash + restart cycles (restart ``restart_delay`` after
+      the crash -- long enough for detection and recovery, so the
+      restart exercises the wiped-media rejoin path),
+    - victims are pairwise distinct, and Lstor losses strike disks that
+      keep *working* (parity gone, data still served),
+    - fault instants are spread across ``window`` so they land while
+      traffic is active, and *detectable* faults (disk failures, node
+      crashes) are at least ``min_gap`` apart so independent failures
+      are never co-detected as one correlated group -- only the
+      intentional same-instant sharing pairs exercise the double-failure
+      path.  Three overlapping disk losses would exceed RAIDP's
+      double-failure design point.
+    """
+    rng = random.Random(seed)
+    layout = dfs.layout
+    disks = sorted(layout.disks)
+    lo, hi = window
+
+    def when() -> float:
+        return round(rng.uniform(lo, hi), 3)
+
+    # Lay out the detectable instants constructively -- i*min_gap plus a
+    # sorted random jitter keeps every pair at least min_gap apart --
+    # then shuffle which fault gets which instant.
+    need = doubles + singles + node_crashes
+    span = hi - lo
+    slack = span - max(need - 1, 0) * min_gap
+    if slack < 0:
+        raise FaultError(
+            f"window {window} too narrow for {need} detectable faults "
+            f"separated by min_gap={min_gap:g}"
+        )
+    offsets = sorted(rng.uniform(0, slack) for _ in range(need))
+    detectable = [round(lo + i * min_gap + offsets[i], 3) for i in range(need)]
+    rng.shuffle(detectable)
+
+    def when_detectable() -> float:
+        return detectable.pop()
+
+    victims: set = set()
+    faults: List[Fault] = []
+
+    # Sharing pairs first (they constrain each other the most).
+    for _ in range(doubles):
+        candidates = [
+            (a, b)
+            for i, a in enumerate(disks)
+            for b in disks[i + 1 :]
+            if a not in victims
+            and b not in victims
+            and layout.shared(a, b) is not None
+        ]
+        if not candidates:
+            raise FaultError("no unused sharing pair left for a double failure")
+        a, b = rng.choice(candidates)
+        victims.update((a, b))
+        at = when_detectable()
+        faults.append(Fault(at=at, kind="disk_fail", target=a))
+        faults.append(Fault(at=at, kind="disk_fail", target=b))
+
+    def pick_free() -> str:
+        free = [d for d in disks if d not in victims]
+        if not free:
+            raise FaultError("every disk is already a victim")
+        choice = rng.choice(free)
+        victims.add(choice)
+        return choice
+
+    for _ in range(singles):
+        faults.append(
+            Fault(at=when_detectable(), kind="disk_fail", target=pick_free())
+        )
+
+    for _ in range(node_crashes):
+        target = pick_free()
+        node_name = layout.domain_of(target) or target
+        at = when_detectable()
+        faults.append(Fault(at=at, kind="node_crash", target=node_name))
+        faults.append(
+            Fault(at=at + restart_delay, kind="node_restart", target=node_name)
+        )
+
+    # Lstor losses and NIC degradations strike *surviving* disks/nodes so
+    # they degrade service without losing data.
+    survivors = [d for d in disks if d not in victims]
+    for _ in range(lstor_losses):
+        if not survivors:
+            break
+        faults.append(
+            Fault(at=when(), kind="lstor_fail", target=rng.choice(survivors))
+        )
+    for _ in range(nic_degrades):
+        if not survivors:
+            break
+        target = rng.choice(survivors)
+        node_name = layout.domain_of(target) or target
+        faults.append(
+            Fault(
+                at=when(),
+                kind="nic_degrade",
+                target=node_name,
+                factor=round(rng.uniform(0.05, 0.25), 3),
+                duration=round(rng.uniform(1.0, 3.0), 3),
+            )
+        )
+    return FaultSchedule(tuple(faults))

@@ -22,7 +22,7 @@ import random
 import zlib
 from typing import Generator, List, Optional
 
-from repro.errors import BlockMissingError, DfsError
+from repro.errors import BlockMissingError, DeviceError, DfsError, PlacementError
 from repro.hdfs.block import BlockLocations
 from repro.hdfs.config import DfsConfig
 from repro.hdfs.datanode import DataNode
@@ -63,6 +63,10 @@ class DfsClient:
         self.prefer_local_read = prefer_local_read
         # Stable per-node seed (str.__hash__ is randomized per process).
         self._rng = random.Random(seed ^ zlib.crc32(node.name.encode()))
+        #: Blocks completed short because a pipeline member died mid-write.
+        self.stats_pipeline_recoveries = 0
+        #: Read attempts that failed over to another replica.
+        self.stats_read_failovers = 0
 
     # ------------------------------------------------------------------
     # Writing.
@@ -75,10 +79,29 @@ class DfsClient:
         remaining = nbytes
         while remaining > 0:
             size = min(self.config.block_size, remaining)
-            locations = self.namenode.allocate_block(path, size, writer=self.node.name)
+            locations = yield from self._allocate_with_retry(path, size)
             yield from self.write_block(locations)
             remaining -= size
         return None
+
+    def _allocate_with_retry(self, path: str, size: int) -> Generator:
+        """Allocate a block, optionally retrying transient placement holes.
+
+        During recovery every eligible superchunk may be frozen (write
+        diversion, paper §3.4); with ``allocate_retries`` > 0 the client
+        backs off and retries instead of failing the whole file write.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.namenode.allocate_block(
+                    path, size, writer=self.node.name
+                )
+            except PlacementError:
+                if attempt >= self.config.allocate_retries:
+                    raise
+                attempt += 1
+                yield self.sim.timeout(self.config.allocate_backoff * attempt)
 
     def rewrite_file(self, path: str) -> Generator:
         """Overwrite every block of an existing file in place.
@@ -129,7 +152,14 @@ class DfsClient:
         return None
 
     def write_block(self, locations: BlockLocations) -> Generator:
-        """Drive one block through the replica pipeline."""
+        """Drive one block through the replica pipeline.
+
+        Survives a pipeline member dying mid-write (HDFS pipeline
+        recovery): the dead target is dropped, the block completes on the
+        surviving replicas, and the short block is reported to the
+        NameNode so the re-replication machinery can top it up.  Only
+        when *every* replica fails does the write itself fail.
+        """
         block = locations.block
         payload = self.factory.make(block.name, locations.version, block.size)
         targets = [self.namenode.datanode(n) for n in locations.datanodes]
@@ -163,9 +193,46 @@ class DfsClient:
             )
             for datanode, arrival in zip(targets, inbound)
         ]
-        yield self.sim.all_of(writes)
-        yield from self.post_block_hook(locations, targets)
+        # Wait on each replica write individually (rather than all_of,
+        # which fails fast): a single member dying must not abort the
+        # surviving writes, and every failure must be observed here.
+        survivors: List[DataNode] = []
+        failures: List[DataNode] = []
+        last_error: Optional[BaseException] = None
+        for datanode, proc in zip(targets, writes):
+            try:
+                yield proc
+            except (DfsError, DeviceError) as exc:
+                failures.append(datanode)
+                last_error = exc
+            else:
+                survivors.append(datanode)
+        if not survivors:
+            raise DfsError(
+                f"pipeline for block {block.name} lost every replica"
+            ) from last_error
+        if failures:
+            self.stats_pipeline_recoveries += 1
+            self.namenode.note_pipeline_failure(
+                locations, [dn.name for dn in failures]
+            )
+            self._after_pipeline_failure(locations, survivors)
+        yield from self.post_block_hook(locations, survivors)
         return None
+
+    def _after_pipeline_failure(
+        self, locations: BlockLocations, survivors: List[DataNode]
+    ) -> None:
+        """Hook: tidy per-replica state after a short pipeline completes.
+
+        A survivor may be waiting on an acknowledgment that the dead
+        member will never send (RAIDP's journal protocol); nodes that
+        implement :meth:`resolve_orphan_ack` get the chance to settle it.
+        """
+        for datanode in survivors:
+            resolve = getattr(datanode, "resolve_orphan_ack", None)
+            if resolve is not None:
+                resolve(locations.block.name, locations.version)
 
     def post_block_hook(
         self, locations: BlockLocations, targets: List[DataNode]
@@ -193,8 +260,39 @@ class DfsClient:
     def read_block(
         self, locations: BlockLocations, prefer_local: Optional[bool] = None
     ) -> Generator:
-        """Read one block from a chosen replica; returns its payload."""
-        datanode = self._choose_replica(locations, prefer_local=prefer_local)
+        """Read one block from a chosen replica; returns its payload.
+
+        A replica dying between selection and completion fails over to
+        another replica with bounded retry/backoff, excluding the ones
+        that already failed this read.  When every attempt is exhausted
+        the read surfaces as :class:`BlockMissingError`, which RAIDP
+        clients turn into an Lstor-assisted degraded read.
+        """
+        failed_names: set = set()
+        attempt = 0
+        while True:
+            datanode = self._choose_replica(
+                locations, prefer_local=prefer_local, exclude=failed_names
+            )
+            try:
+                payload = yield from self._read_replica(datanode, locations)
+                return payload
+            except (DfsError, DeviceError) as exc:
+                failed_names.add(datanode.name)
+                attempt += 1
+                self.stats_read_failovers += 1
+                if attempt > self.config.read_retries:
+                    raise BlockMissingError(
+                        f"block {locations.block.name}: "
+                        f"{attempt} read attempts all failed"
+                    ) from exc
+                if self.config.read_backoff > 0:
+                    yield self.sim.timeout(self.config.read_backoff * attempt)
+
+    def _read_replica(
+        self, datanode: DataNode, locations: BlockLocations
+    ) -> Generator:
+        """One read attempt against one replica."""
         reader = self.sim.process(
             datanode.read_block(locations),
             name=f"read:{locations.block.name}@{datanode.name}",
@@ -212,13 +310,26 @@ class DfsClient:
             payload = results[0]
         return payload
 
+    def _replica_healthy(self, datanode: DataNode) -> bool:
+        """Same health predicate as the cluster monitor: the DataNode
+        process is up, its disk works, and its host node is alive."""
+        return (
+            datanode.alive
+            and not datanode.disk.failed
+            and datanode.node.alive
+        )
+
     def _choose_replica(
-        self, locations: BlockLocations, prefer_local: Optional[bool] = None
+        self,
+        locations: BlockLocations,
+        prefer_local: Optional[bool] = None,
+        exclude: frozenset = frozenset(),
     ) -> DataNode:
         live = [
-            self.namenode.datanode(name)
+            datanode
             for name in locations.datanodes
-            if self.namenode.datanode(name).alive
+            if name not in exclude
+            and self._replica_healthy(datanode := self.namenode.datanode(name))
         ]
         if not live:
             raise BlockMissingError(

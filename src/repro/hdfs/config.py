@@ -31,6 +31,21 @@ class DfsConfig:
     #: moves data well below NIC speed).  Charged per block on the write
     #: and read paths; 0 disables.
     pipeline_process_rate: float = 800 * units.MB
+    #: Read-path failover: extra replica attempts after the first read
+    #: fails mid-flight (HDFS clients rotate through the located replicas
+    #: before giving up).  Each retry excludes the replicas that already
+    #: failed this read.
+    read_retries: int = 2
+    #: Linear backoff between read attempts (seconds; attempt k waits
+    #: ``k * read_backoff``).  Models the client-side retry pause.
+    read_backoff: float = 10 * units.MSEC
+    #: Write-path allocation retries when placement is transiently
+    #: impossible (e.g. every eligible superchunk is frozen while a
+    #: recovery is in flight).  0 keeps the historical fail-fast
+    #: behavior; chaos/soak configurations opt in.
+    allocate_retries: int = 0
+    #: Linear backoff between allocation attempts (seconds).
+    allocate_backoff: float = 1.0
 
     def __post_init__(self) -> None:
         if self.block_size <= 0 or self.packet_size <= 0:
@@ -39,6 +54,10 @@ class DfsConfig:
             raise ValueError("block size must be a multiple of packet size")
         if self.replication < 1:
             raise ValueError("replication must be at least 1")
+        if self.read_retries < 0 or self.allocate_retries < 0:
+            raise ValueError("retry counts must be non-negative")
+        if self.read_backoff < 0 or self.allocate_backoff < 0:
+            raise ValueError("backoffs must be non-negative")
 
     @property
     def packets_per_block(self) -> int:

@@ -121,6 +121,24 @@ class DataNode:
         self._versions.pop(block_name, None)
         self._checksums.pop(block_name, None)
 
+    def purge_block(self, block_name: str) -> None:
+        """Drop one replica without a locations record (rejoin cleanup:
+        orphaned or stale blocks flagged by the NameNode's block-report
+        reconciliation).  Charges no simulated time, like HDFS's lazy
+        deletion."""
+        self.drop_content(block_name)
+        if self.fs.exists(block_name):
+            self.fs.delete(block_name)
+
+    def wipe_storage(self) -> None:
+        """Model a replaced (empty) disk: forget every stored payload.
+
+        Used when a node rejoins after its data was re-homed elsewhere --
+        the revived DataNode starts from clean media.
+        """
+        for block_name in list(self._contents):
+            self.purge_block(block_name)
+
     # ------------------------------------------------------------------
     # Block file lifecycle hooks (overridden by RAIDP).
     # ------------------------------------------------------------------

@@ -40,6 +40,8 @@ class HdfsCluster:
             self.config,
             placement or ReplicationPlacement(self.config.replication, seed=seed),
         )
+        #: The server hosting the NameNode process (heartbeat endpoint).
+        self.namenode_node = self.cluster.nodes[0]
         self.datanodes: List[DataNode] = []
         for node in self.cluster.nodes:
             datanode = DataNode(self.sim, node, self.config, self.factory)

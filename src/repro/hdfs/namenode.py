@@ -28,6 +28,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hdfs.datanode import DataNode
 
 
+def healthy_datanode(datanode) -> bool:
+    """The full health predicate: registered alive, disk serving, host up.
+
+    Placement and replica choice must agree on this -- a DataNode whose
+    disk already died but whose heartbeat staleness has not yet been
+    declared is *not* a valid target, even though its metadata still says
+    ``alive``.  Minimal DataNode stand-ins (tests) may lack the device
+    attributes; only the checks they support apply.
+    """
+    if not datanode.alive:
+        return False
+    disk = getattr(datanode, "disk", None)
+    if disk is not None and disk.failed:
+        return False
+    node = getattr(datanode, "node", None)
+    if node is not None and not node.alive:
+        return False
+    return True
+
+
 class PlacementPolicy:
     """Chooses the replica set for a new block."""
 
@@ -65,7 +85,7 @@ class ReplicationPlacement(PlacementPolicy):
         writer: Optional[str],
         datanodes: Sequence["DataNode"],
     ) -> BlockLocations:
-        alive = [dn for dn in datanodes if dn.alive]
+        alive = [dn for dn in datanodes if healthy_datanode(dn)]
         if len(alive) < self.replication:
             raise PlacementError(
                 f"need {self.replication} live datanodes, have {len(alive)}"
@@ -99,6 +119,9 @@ class NameNode:
         self._files: Dict[str, List[Block]] = {}
         self._blocks: Dict[int, BlockLocations] = {}
         self._next_block_id = 0
+        #: (block name, dropped replica names) per pipeline recovery the
+        #: clients reported -- the short blocks awaiting re-replication.
+        self.pipeline_failures: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Cluster membership.
@@ -153,8 +176,12 @@ class NameNode:
         blocks = self.file_blocks(path)
         del self._files[path]
         records = []
+        release = getattr(self.placement, "release", None)
         for block in blocks:
-            records.append(self._blocks.pop(block.block_id))
+            record = self._blocks.pop(block.block_id)
+            if release is not None:
+                release(record)  # free the superchunk slot (RAIDP)
+            records.append(record)
         return records
 
     # ------------------------------------------------------------------
@@ -203,6 +230,60 @@ class NameNode:
                 locations.remove_datanode(name)
                 affected.append(locations)
         return affected
+
+    def note_pipeline_failure(
+        self, locations: BlockLocations, failed_names: Iterable[str]
+    ) -> None:
+        """A client completed a block short: drop the dead pipeline
+        members from the block's locations (HDFS pipeline recovery).
+
+        The block then shows up in :meth:`under_replicated` for the
+        recovery machinery; the failed DataNodes themselves are left for
+        the heartbeat detector to declare dead (a single slow write must
+        not evict a whole node).
+        """
+        dropped = []
+        for name in failed_names:
+            if name in locations.datanodes:
+                locations.remove_datanode(name)
+                dropped.append(name)
+        self.pipeline_failures.append((locations.block.name, tuple(dropped)))
+
+    def readopt_replicas(
+        self, datanode_name: str, held: Iterable[str], version_of=None
+    ):
+        """Reconcile a *rejoining* DataNode's holdings with the block map.
+
+        The inverse of the death path: replicas the namespace still knows
+        about, at the current version, and still under-replicated, are
+        re-adopted into the block's locations.  Everything else the node
+        holds is returned for purging, split into ``orphans`` (blocks the
+        namespace no longer references, or already fully replicated
+        elsewhere) and ``stale`` (the block exists but was rewritten at a
+        newer version while the node was down).  Returns
+        ``(readopted, orphans, stale)`` as sorted block-name lists.
+        """
+        by_name = {loc.block.name: loc for loc in self._blocks.values()}
+        readopted: List[str] = []
+        orphans: List[str] = []
+        stale: List[str] = []
+        for block_name in held:
+            locations = by_name.get(block_name)
+            if locations is None:
+                orphans.append(block_name)
+                continue
+            if datanode_name in locations.datanodes:
+                readopted.append(block_name)
+                continue
+            if version_of is not None and version_of(block_name) != locations.version:
+                stale.append(block_name)
+                continue
+            if locations.replica_count >= self.config.replication:
+                orphans.append(block_name)
+                continue
+            locations.datanodes.append(datanode_name)
+            readopted.append(block_name)
+        return sorted(readopted), sorted(orphans), sorted(stale)
 
     def under_replicated(self) -> List[BlockLocations]:
         return [

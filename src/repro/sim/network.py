@@ -132,6 +132,30 @@ class Switch:
         self._reallocate()
         return done
 
+    def set_nic_rates(
+        self,
+        nic: Nic,
+        tx_rate: Optional[float] = None,
+        rx_rate: Optional[float] = None,
+    ) -> None:
+        """Change a NIC's port speeds mid-flight (link degradation).
+
+        In-flight flows keep the bytes they already moved (progress is
+        banked at the old rates) and the fair-share allocation is
+        recomputed at the new capacities -- the same bank/reallocate
+        cycle a flow arrival or departure triggers.
+        """
+        if (tx_rate is not None and tx_rate <= 0) or (
+            rx_rate is not None and rx_rate <= 0
+        ):
+            raise ValueError("NIC rate must be positive")
+        self._bank_progress()
+        if tx_rate is not None:
+            nic.tx_rate = tx_rate
+        if rx_rate is not None:
+            nic.rx_rate = rx_rate
+        self._reallocate()
+
     # ------------------------------------------------------------------
     # Max-min fair allocation (progressive filling).
     # ------------------------------------------------------------------

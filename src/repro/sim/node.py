@@ -115,5 +115,17 @@ class Node:
         for disk in self.disks:
             disk.fail()
 
+    def restart(self) -> None:
+        """Bring a crashed server back with replaced (empty) disks.
+
+        The distributed layers are responsible for re-registering the
+        node's DataNodes and reconciling content (block report / rejoin
+        protocol); this only flips the hardware back on.
+        """
+        self.alive = True
+        for disk in self.disks:
+            if disk.failed:
+                disk.repair()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Node {self.name} disks={len(self.disks)} alive={self.alive}>"

@@ -47,6 +47,21 @@ class WorkloadResult:
         )
 
 
+def workload_body(dfs, task_bodies: List[Generator], name: str) -> Generator:
+    """Process body fanning the tasks out and waiting for all of them.
+
+    Usable from *inside* a running simulation (a chaos scenario, a
+    monitored run), unlike :func:`run_tasks`, which drives the simulator
+    itself and therefore cannot coexist with live monitor loops.
+    """
+    procs = [
+        dfs.sim.process(body, name=f"{name}:task{i}")
+        for i, body in enumerate(task_bodies)
+    ]
+    yield dfs.sim.all_of(procs)
+    return None
+
+
 def run_tasks(dfs, task_bodies: List[Generator], name: str) -> WorkloadResult:
     """Run task process bodies concurrently; measure the workload window.
 
@@ -58,14 +73,7 @@ def run_tasks(dfs, task_bodies: List[Generator], name: str) -> WorkloadResult:
     start_network = dfs.total_network_bytes()
     start_disk = dfs.cluster.total_disk_stats()
 
-    def fan_out():
-        procs = [
-            dfs.sim.process(body, name=f"{name}:task{i}")
-            for i, body in enumerate(task_bodies)
-        ]
-        yield dfs.sim.all_of(procs)
-
-    dfs.sim.run_process(fan_out())
+    dfs.sim.run_process(workload_body(dfs, task_bodies, name))
     end_disk = dfs.cluster.total_disk_stats()
     return WorkloadResult(
         name=name,

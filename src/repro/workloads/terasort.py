@@ -86,29 +86,37 @@ def teragen(dfs, total_bytes: int, tasks_per_node: Optional[int] = None) -> None
     dfs.sim.run_process(all_gens())
 
 
-def terasort(
+def terasort_tasks(
     dfs,
     total_bytes: int,
     tasks_per_node: Optional[int] = None,
-    output_replication: Optional[int] = None,
-    name: str = "terasort",
-) -> WorkloadResult:
-    """Run the measured TeraSort over a previously TeraGen'd input."""
+    input_prefix: str = "/terasort/in",
+    output_prefix: str = "/terasort/out",
+    shuffle_counter: Optional[List[int]] = None,
+) -> List[Generator]:
+    """Build the TeraSort task bodies without driving the simulator.
+
+    Each body does the map read (data-local), the partition CPU pass,
+    the all-to-all shuffle, the reduce merge pass, and the replicated
+    output write.  ``shuffle_counter`` (a one-element list) accumulates
+    the MapReduce-internal shuffle volume for the caller.  Usable via
+    :func:`~repro.workloads.driver.run_tasks` for measured runs or
+    :func:`~repro.workloads.driver.workload_body` inside a live scenario
+    (the chaos soak runs TeraSort under fault injection this way).
+    """
     tasks = (tasks_per_node or dfs.config.tasks_per_node) * len(dfs.clients)
     per_task = total_bytes // tasks
     clients = spread_tasks(dfs, tasks)
     num_nodes = len(dfs.clients)
     switch = dfs.switch
-
-    shuffle_bytes = 0
+    counter = shuffle_counter if shuffle_counter is not None else [0]
 
     def task(index: int) -> Generator:
-        nonlocal shuffle_bytes
         client = clients[index]
         node = client.node
         # Map: read the input slice (maps are scheduled data-local, as
         # Hadoop's scheduler does) and partition it (CPU pass).
-        yield from client.read_file(f"/terasort/in/part-{index}", prefer_local=True)
+        yield from client.read_file(f"{input_prefix}/part-{index}", prefer_local=True)
         yield from node.compute_bytes(per_task, intensity=MAP_INTENSITY)
         # Shuffle: ship (N-1)/N of the slice to the other nodes.
         share = per_task // num_nodes
@@ -120,18 +128,33 @@ def terasort(
             flows.append(
                 switch.transfer(node.primary_nic, peer.primary_nic, share)
             )
-            shuffle_bytes += share
+            counter[0] += share
         if flows:
             yield dfs.sim.all_of(flows)
         # Reduce: merge (CPU pass) and write the sorted output at the
         # configured replication.
         yield from node.compute_bytes(per_task, intensity=REDUCE_INTENSITY)
-        yield from client.write_file(f"/terasort/out/part-{index}", per_task)
+        yield from client.write_file(f"{output_prefix}/part-{index}", per_task)
         return None
 
-    result = run_tasks(dfs, [task(i) for i in range(tasks)], name)
+    return [task(i) for i in range(tasks)]
+
+
+def terasort(
+    dfs,
+    total_bytes: int,
+    tasks_per_node: Optional[int] = None,
+    output_replication: Optional[int] = None,
+    name: str = "terasort",
+) -> WorkloadResult:
+    """Run the measured TeraSort over a previously TeraGen'd input."""
+    shuffle_counter = [0]
+    bodies = terasort_tasks(
+        dfs, total_bytes, tasks_per_node, shuffle_counter=shuffle_counter
+    )
+    result = run_tasks(dfs, bodies, name)
     # Record the MapReduce-internal shuffle volume so the Fig. 10 metric
     # (accumulated DFS traffic) can be separated from it -- the paper's
     # counter tracks the HDFS layer, where replication dominates.
-    result.extra["shuffle_bytes"] = float(shuffle_bytes)
+    result.extra["shuffle_bytes"] = float(shuffle_counter[0])
     return result

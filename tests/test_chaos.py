@@ -1,0 +1,48 @@
+"""A fast chaos-soak smoke test: same-seed determinism and survival.
+
+The full soak (``make chaos`` / ``python -m repro.tools.chaos``) runs a
+heavier randomized schedule; this keeps a single reduced configuration in
+the tier-1 suite so regressions in the failure lifecycle surface in CI.
+"""
+
+import pytest
+
+from repro.tools.chaos import DEFAULT_SEED, run_chaos, run_repeated
+
+SEED = 20260806
+
+
+@pytest.fixture(scope="module")
+def soak():
+    return run_repeated(SEED, runs=2, nic_degrades=0, lstor_losses=0)
+
+
+def test_chaos_soak_survives(soak):
+    assert soak.ok, "\n".join(soak.problems)
+
+
+def test_chaos_soak_injected_and_recovered(soak):
+    fp = soak.fingerprint
+    # The schedule landed: a sharing-pair double, a single, and a node
+    # crash/restart cycle, all during traffic.
+    kinds = [record[1] for record in fp["injections"]]
+    assert kinds.count("disk_fail") == 3
+    assert kinds.count("node_crash") == 1
+    assert kinds.count("node_restart") == 1
+    assert fp["reports"], "no recovery ran"
+    assert fp["rejoined"], "the restarted node never rejoined"
+    assert fp["recovery_errors"] == []
+    assert fp["blocks"], "nothing was verified"
+    assert fp["under_replicated"] == 0
+
+
+def test_chaos_cli_rejects_unknown_args():
+    from repro.tools.chaos import main
+
+    with pytest.raises(SystemExit):
+        main(["--no-such-flag"])
+
+
+def test_default_seed_is_stable():
+    # The documented default: anyone running `make chaos` gets this plan.
+    assert DEFAULT_SEED == 0xC4A05
