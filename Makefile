@@ -4,7 +4,7 @@ PYTHON     ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench bench-kernels chaos verify experiments clean
+.PHONY: test bench bench-kernels bench-check chaos verify experiments clean
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -17,6 +17,11 @@ bench:
 # Fast kernel-only perf probe (no experiments).
 bench-kernels:
 	$(PYTHON) -m repro.tools.bench --kernels-only --output /dev/null
+
+# Perf regression gate: re-run the kernels and compare against the
+# committed BENCH_sim.json (throughput floor + solver-speedup bound).
+bench-check:
+	$(PYTHON) -m repro.tools.bench --check
 
 # Chaos soak: a seeded randomized failure schedule (disk/node/NIC/Lstor
 # faults) injected under live DFSIO+TeraSort traffic, run twice to prove

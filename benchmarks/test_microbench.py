@@ -120,6 +120,37 @@ def test_bench_sim_engine_process_churn(benchmark):
     assert result == 2_000
 
 
+def test_bench_network_solver_churn(benchmark):
+    """Incremental fair-share solver under a 512-flow churn burst."""
+    from repro.tools.bench import run_network_churn
+
+    def churn():
+        elapsed, _events = run_network_churn("incremental", num_nics=64, num_flows=512)
+        return elapsed
+
+    benchmark.pedantic(churn, rounds=3, iterations=1)
+
+
+def test_network_churn_event_budget():
+    """Perf guard: a 512-flow churn burst stays within an event budget.
+
+    The incremental solver's lazy completion heap must keep the engine
+    event count proportional to arrivals/departures -- a handful of
+    events per flow (arrival stagger, completion timer, delivery, done)
+    plus re-arms -- never proportional to flows^2.  The budget of 16
+    events/flow is ~2x the observed cost, so it trips on any return to
+    per-event timer rebuilds long before wall-clock does.
+    """
+    from repro.tools.bench import run_network_churn
+
+    num_flows = 512
+    _elapsed, events = run_network_churn("incremental", num_nics=64, num_flows=num_flows)
+    assert events <= 16 * num_flows + 64, (
+        f"{events} engine events for {num_flows} flows: "
+        "event count is no longer proportional to arrivals/departures"
+    )
+
+
 def test_bench_hungarian_50x50(benchmark):
     import random
 

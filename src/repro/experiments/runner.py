@@ -62,6 +62,10 @@ REGISTRY: Dict[str, Tuple[str, str]] = {
         "in-place updates vs rewrites (extension)",
     ),
     "ext-ssd": ("repro.experiments.ext_ssd", "the write family on flash (extension)"),
+    "ext-scale": (
+        "repro.experiments.ext_scale",
+        "large-cluster scale-out sweep (extension)",
+    ),
 }
 
 
@@ -91,8 +95,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (fig1, table1, fig7, fig8, fig9, fig10, table2) "
-        "or 'all'; empty lists the registry",
+        help="experiment ids (fig1, table1, fig7, fig8, fig9, fig10, table2, "
+        "ext-durability, ext-updates, ext-ssd, ext-scale) or 'all'; empty "
+        "lists the registry",
     )
     parser.add_argument(
         "--full",

@@ -42,15 +42,21 @@ class _Deferred:
     object is much cheaper than a full :class:`Event` for the internal
     "run this soon" pattern (process bootstrap, late callbacks,
     interrupts), which fires once per process and never carries a value.
+
+    Instances are pooled by the simulator: once dispatched, the loop
+    recycles the entry for the next :meth:`Simulator._schedule_callback`,
+    so callback-heavy phases (process churn) allocate no heap entries in
+    steady state.
     """
 
     __slots__ = ("fn",)
 
-    def __init__(self, fn: Callable[[], None]) -> None:
+    def __init__(self, fn: Optional[Callable[[], None]]) -> None:
         self.fn = fn
 
     def _dispatch(self) -> None:
-        self.fn()
+        fn, self.fn = self.fn, None
+        fn()
 
 
 class Event:
@@ -322,6 +328,8 @@ class Simulator:
         self._seq = 0
         self._live_processes = 0
         self._failed: List[Tuple[Process, BaseException]] = []
+        # Recycled _Deferred heap entries (see _schedule_callback).
+        self._deferred_pool: List[_Deferred] = []
 
     # ------------------------------------------------------------------
     # Event construction helpers.
@@ -356,10 +364,17 @@ class Simulator:
 
         Replaces the allocate-Event-and-succeed idiom for internal
         scheduling; consumes one sequence number, exactly like the event
-        it replaces, so tie-breaking order is unchanged.
+        it replaces, so tie-breaking order is unchanged.  Entries are
+        reused from a free list refilled by the dispatch loop.
         """
+        pool = self._deferred_pool
+        if pool:
+            entry = pool.pop()
+            entry.fn = fn
+        else:
+            entry = _Deferred(fn)
         self._seq += 1
-        heapq.heappush(self._heap, (self.now, self._seq, _Deferred(fn)))
+        heapq.heappush(self._heap, (self.now, self._seq, entry))
 
     def _note_process_failure(self, process: Process, exc: BaseException) -> None:
         self._failed.append((process, exc))
@@ -371,6 +386,8 @@ class Simulator:
             raise SimulationError("time went backwards")
         self.now = when
         event._dispatch()
+        if type(event) is _Deferred:
+            self._deferred_pool.append(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or simulated time reaches ``until``.
@@ -378,15 +395,28 @@ class Simulator:
         Returns the final simulated time.  Raises the first unobserved
         process failure, and raises :class:`DeadlockError` if processes
         remain blocked after the heap drains.
+
+        The loop is the simulation's innermost hot path, so it inlines
+        :meth:`step` with the heap and pop bound locally and recycles
+        dispatched :class:`_Deferred` entries into the free list.
         """
         from repro.errors import DeadlockError
 
-        while self._heap:
-            when = self._heap[0][0]
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._deferred_pool
+        while heap:
+            when = heap[0][0]
             if until is not None and when > until:
                 self.now = until
                 break
-            self.step()
+            when, _seq, event = pop(heap)
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            self.now = when
+            event._dispatch()
+            if type(event) is _Deferred:
+                pool.append(event)
         self._raise_orphan_failures()
         if until is None and self._live_processes > 0 and not self._heap:
             raise DeadlockError(

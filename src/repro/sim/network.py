@@ -7,11 +7,27 @@ receiver's receive port (NICs are full duplex).  When several flows share
 a port, bandwidth is divided by progressive filling (max-min fairness),
 which is the steady state that per-flow fair queueing / TCP converge to.
 
-Whenever a flow starts or finishes, every active flow's progress is
-banked at its old rate and the allocation is recomputed.  Completion is
-driven by a versioned timer: a stale timer firing after a reallocation is
-simply ignored.  This keeps the event count proportional to the number of
-flow arrivals/departures rather than to bytes transferred.
+Allocation is *incremental*: each port keeps a dict-backed ordered set of
+its active flows, and a flow arrival, departure, or NIC-rate change only
+re-solves the **connected component** of ports reachable from the ports
+it touched -- flows elsewhere keep their rates untouched (max-min rates
+are component-local, so this is exact, not an approximation).  Progress
+is banked lazily: only flows inside the re-solved component are credited
+with bytes moved at their old rate; an undisturbed flow's progress is a
+single ``rate * elapsed`` evaluated when something finally touches it.
+
+Completion is driven by a lazy-invalidation heap of per-flow deadlines:
+every rate change pushes a fresh ``(deadline, seq, flow)`` entry and the
+one armed engine timer always targets the heap top; entries whose flow
+finished or was since re-rated are skipped on pop.  This keeps the event
+count proportional to the number of flow arrivals/departures rather than
+to bytes transferred or to the square of the flow count.
+
+The pre-existing rebuild-the-world allocator is retained as the
+*reference* solver (``Switch(sim, solver="reference")`` or
+``RAIDP_NET_SOLVER=reference``): it banks every flow and re-solves the
+whole topology on every event.  It is the oracle for the differential
+property tests and the baseline for the ``flows_per_sec`` bench kernel.
 
 Per-node accumulated traffic is tracked so experiments can report the
 paper's "accumulated network GB" bars (Fig. 10).
@@ -19,12 +35,20 @@ paper's "accumulated network GB" bars (Fig. 10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import heapq
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro import units
 from repro.errors import SimulationError
 from repro.sim.engine import Event, Simulator
+
+#: Environment override for the default allocator ("incremental" or
+#: "reference"); an explicit ``Switch(solver=...)`` argument wins.
+SOLVER_ENV_VAR = "RAIDP_NET_SOLVER"
+
+_INF = float("inf")
 
 
 @dataclass
@@ -55,6 +79,25 @@ class Nic:
         self.stats = FlowStats()
 
 
+class _Port:
+    """One direction (tx or rx) of a NIC: capacity plus a flow registry.
+
+    ``flows`` is a dict used as an ordered set: insertion order is the
+    flow arrival order (deterministic), membership/removal are O(1).
+    """
+
+    __slots__ = ("nic", "is_tx", "flows")
+
+    def __init__(self, nic: Nic, is_tx: bool) -> None:
+        self.nic = nic
+        self.is_tx = is_tx
+        self.flows: Dict["_Flow", None] = {}
+
+    @property
+    def capacity(self) -> float:
+        return self.nic.tx_rate if self.is_tx else self.nic.rx_rate
+
+
 class _Flow:
     """An in-flight transfer between two NICs."""
 
@@ -67,9 +110,24 @@ class _Flow:
         "done",
         "started_at",
         "last_update",
+        "src_port",
+        "dst_port",
+        "seq",
+        "deadline",
+        "finished",
     )
 
-    def __init__(self, src: Nic, dst: Nic, nbytes: int, done: Event, now: float) -> None:
+    def __init__(
+        self,
+        src: Nic,
+        dst: Nic,
+        nbytes: int,
+        done: Event,
+        now: float,
+        src_port: _Port,
+        dst_port: _Port,
+        seq: int,
+    ) -> None:
         self.src = src
         self.dst = dst
         self.remaining = float(nbytes)
@@ -78,6 +136,16 @@ class _Flow:
         self.done = done
         self.started_at = now
         self.last_update = now
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq  # arrival order: canonical solve/tie-break order
+        self.deadline = _INF  # latest pushed completion deadline
+        self.finished = False
+
+    def _finish_threshold(self) -> float:
+        # A byte-fraction floor absorbs float residue; scale-relative for
+        # huge transfers so banking error cannot strand a flow.
+        return max(1e-6, self.total * 1e-12)
 
 
 class Switch:
@@ -86,11 +154,27 @@ class Switch:
     #: Fixed one-way latency added to every transfer (switch + stack).
     BASE_LATENCY = 50 * units.USEC
 
-    def __init__(self, sim: Simulator, name: str = "switch") -> None:
+    def __init__(
+        self, sim: Simulator, name: str = "switch", solver: Optional[str] = None
+    ) -> None:
+        if solver is None:
+            solver = os.environ.get(SOLVER_ENV_VAR, "") or "incremental"
+        if solver not in ("incremental", "reference"):
+            raise ValueError(f"unknown network solver {solver!r}")
         self.sim = sim
         self.name = name
+        self.solver = solver
         self._nics: Dict[str, Nic] = {}
-        self._flows: List[_Flow] = []
+        #: Global ordered set of active flows (arrival order).
+        self._flows: Dict[_Flow, None] = {}
+        self._tx_ports: Dict[Nic, _Port] = {}
+        self._rx_ports: Dict[Nic, _Port] = {}
+        self._flow_seq = 0
+        #: Lazy-invalidation completion heap: (deadline, push seq, flow).
+        self._completions: List[Tuple[float, int, _Flow]] = []
+        self._push_seq = 0
+        #: Deadline the currently armed engine timer targets (inf = none).
+        self._timer_deadline = _INF
         self._timer_version = 0
         self.total_bytes = 0
 
@@ -105,6 +189,15 @@ class Switch:
 
     def nic(self, name: str) -> Nic:
         return self._nics[name]
+
+    def _port(self, nic: Nic, is_tx: bool) -> _Port:
+        # Ports are created lazily so transfers work for NICs that were
+        # never attach()ed (attach only registers traffic reporting).
+        ports = self._tx_ports if is_tx else self._rx_ports
+        port = ports.get(nic)
+        if port is None:
+            port = ports[nic] = _Port(nic, is_tx)
+        return port
 
     # ------------------------------------------------------------------
     # Transfers.
@@ -122,14 +215,25 @@ class Switch:
         if nbytes == 0:
             start = self.sim.now
             latency_done = self.sim.timeout(self.BASE_LATENCY)
-            latency_done.add_callback(
-                lambda _ev: done.succeed(self.sim.now - start)
-            )
+
+            def _deliver_empty(_ev: Event) -> None:
+                # A zero-byte flow still completes: close the
+                # started/finished accounting pair (it banks no bytes).
+                src.stats.flows_finished += 1
+                done.succeed(self.sim.now - start)
+
+            latency_done.add_callback(_deliver_empty)
             return done
-        flow = _Flow(src, dst, nbytes, done, self.sim.now)
-        self._bank_progress()
-        self._flows.append(flow)
-        self._reallocate()
+        src_port = self._port(src, is_tx=True)
+        dst_port = self._port(dst, is_tx=False)
+        self._flow_seq += 1
+        flow = _Flow(
+            src, dst, nbytes, done, self.sim.now, src_port, dst_port, self._flow_seq
+        )
+        self._flows[flow] = None
+        src_port.flows[flow] = None
+        dst_port.flows[flow] = None
+        self._update([src_port, dst_port])
         return done
 
     def set_nic_rates(
@@ -142,82 +246,107 @@ class Switch:
 
         In-flight flows keep the bytes they already moved (progress is
         banked at the old rates) and the fair-share allocation is
-        recomputed at the new capacities -- the same bank/reallocate
-        cycle a flow arrival or departure triggers.
+        recomputed at the new capacities -- the same bank/re-solve cycle
+        a flow arrival or departure triggers, scoped to the component(s)
+        the NIC's two ports belong to.
         """
         if (tx_rate is not None and tx_rate <= 0) or (
             rx_rate is not None and rx_rate <= 0
         ):
             raise ValueError("NIC rate must be positive")
-        self._bank_progress()
+        dirty: List[_Port] = []
         if tx_rate is not None:
             nic.tx_rate = tx_rate
+            port = self._tx_ports.get(nic)
+            if port is not None and port.flows:
+                dirty.append(port)
         if rx_rate is not None:
             nic.rx_rate = rx_rate
-        self._reallocate()
+            port = self._rx_ports.get(nic)
+            if port is not None and port.flows:
+                dirty.append(port)
+        if dirty or self.solver == "reference":
+            self._update(dirty)
 
     # ------------------------------------------------------------------
-    # Max-min fair allocation (progressive filling).
+    # Incremental max-min fair allocation (progressive filling).
     # ------------------------------------------------------------------
-    def _reallocate(self) -> None:
-        """Recompute every flow's rate and re-arm the completion timer."""
-        if not self._flows:
-            return
-        # Port -> (capacity, unfrozen flow count).  Ports are keyed by
-        # (nic, direction) so tx and rx are independent.
-        remaining_cap: Dict[tuple, float] = {}
-        load: Dict[tuple, int] = {}
-        for flow in self._flows:
-            tx_key = (flow.src, "tx")
-            rx_key = (flow.dst, "rx")
-            remaining_cap.setdefault(tx_key, flow.src.tx_rate)
-            remaining_cap.setdefault(rx_key, flow.dst.rx_rate)
-            load[tx_key] = load.get(tx_key, 0) + 1
-            load[rx_key] = load.get(rx_key, 0) + 1
+    def _update(self, dirty_ports: List[_Port]) -> None:
+        """Bank, finish-detect, and re-solve the affected component(s).
 
-        unfrozen = list(self._flows)
-        while unfrozen:
-            # The bottleneck port is the one offering the smallest fair
-            # share to its unfrozen flows.
-            bottleneck_key = min(
-                (key for key in load if load[key] > 0),
-                key=lambda key: remaining_cap[key] / load[key],
-            )
-            # Clamp: repeated subtraction can drive a port's remaining
-            # capacity a few ULPs below zero, and a negative share would
-            # make flows run backwards (a livelock in disguise).
-            share = max(remaining_cap[bottleneck_key], 0.0) / load[bottleneck_key]
-            frozen_now = [
-                flow
-                for flow in unfrozen
-                if (flow.src, "tx") == bottleneck_key
-                or (flow.dst, "rx") == bottleneck_key
-            ]
-            for flow in frozen_now:
-                flow.rate = share
-                for key in ((flow.src, "tx"), (flow.dst, "rx")):
-                    remaining_cap[key] -= share
-                    load[key] -= 1
-                unfrozen.remove(flow)
-        self._arm_timer()
-
-    def _bank_progress(self) -> None:
-        """Credit every flow with bytes moved at its current rate."""
+        The three phases are deliberately separate (finish detection
+        returns the finished flows instead of removing them mid-scan):
+        reallocation never sees half-removed flows.
+        """
         now = self.sim.now
+        if self.solver == "reference":
+            candidates = list(self._flows)
+        else:
+            candidates = self._component(dirty_ports)
+        # Phase 1: bank progress for every flow whose rate may change.
+        finished = self._bank(candidates, now)
+        # Phase 2: retire finished flows from every registry.
+        for flow in finished:
+            self._retire(flow)
+        if finished:
+            candidates = [flow for flow in candidates if not flow.finished]
+        # Phase 3: re-solve and re-rate the survivors.
+        self._solve(candidates, now)
+        # Deliver completions only after the allocator ran on clean state.
+        for flow in finished:
+            self._deliver(flow)
+        self._arm_timer(now)
+
+    def _component(self, dirty_ports: List[_Port]) -> List[_Flow]:
+        """Flows in the connected component(s) of the dirty ports.
+
+        Ports are vertices, flows are edges.  Dicts (not sets) keep the
+        traversal order deterministic; the result is sorted by flow
+        arrival order so the solve's tie-breaking matches the reference
+        solver's global iteration.
+        """
+        seen_ports: Dict[_Port, None] = dict.fromkeys(dirty_ports)
+        flows: Dict[_Flow, None] = {}
+        stack = list(dirty_ports)
+        while stack:
+            port = stack.pop()
+            for flow in port.flows:
+                if flow not in flows:
+                    flows[flow] = None
+                    for other in (flow.src_port, flow.dst_port):
+                        if other not in seen_ports:
+                            seen_ports[other] = None
+                            stack.append(other)
+        return sorted(flows, key=lambda flow: flow.seq)
+
+    def _bank(self, flows: List[_Flow], now: float) -> List[_Flow]:
+        """Credit ``flows`` with bytes moved at their current rate.
+
+        Pure detection: returns the flows that crossed their completion
+        threshold without removing them from any registry.
+        """
         finished: List[_Flow] = []
-        for flow in self._flows:
+        for flow in flows:
             elapsed = now - flow.last_update
             if elapsed > 0 and flow.rate > 0:
-                moved = min(flow.remaining, flow.rate * elapsed)
+                moved = flow.rate * elapsed
+                if moved > flow.remaining:
+                    moved = flow.remaining
                 flow.remaining -= moved
             flow.last_update = now
-            if flow.remaining <= max(1e-6, flow.total * 1e-12):
+            if flow.remaining <= flow._finish_threshold():
                 finished.append(flow)
-        for flow in finished:
-            self._finish(flow)
+        return finished
 
-    def _finish(self, flow: _Flow) -> None:
-        self._flows.remove(flow)
+    def _retire(self, flow: _Flow) -> None:
+        """Drop a finished flow from the global and per-port registries."""
+        flow.finished = True
+        del self._flows[flow]
+        del flow.src_port.flows[flow]
+        del flow.dst_port.flows[flow]
+
+    def _deliver(self, flow: _Flow) -> None:
+        """Account a finished flow and schedule its completion delivery."""
         flow.src.stats.bytes_sent += flow.total
         flow.dst.stats.bytes_received += flow.total
         flow.src.stats.flows_finished += 1
@@ -228,28 +357,143 @@ class Switch:
         delivery = self.sim.timeout(self.BASE_LATENCY)
         delivery.add_callback(lambda _ev: flow.done.succeed(duration))
 
-    def _arm_timer(self) -> None:
-        """Schedule a wakeup at the earliest flow completion."""
-        self._timer_version += 1
-        if not self._flows:
+    def _solve(self, flows: List[_Flow], now: float) -> None:
+        """Progressive filling restricted to ``flows``; re-rate changes.
+
+        ``flows`` is closed under port sharing (a connected component, or
+        everything in reference mode), so the computed rates equal what
+        global progressive filling would assign these flows.
+        """
+        if not flows:
             return
-        horizons = [
-            flow.remaining / flow.rate for flow in self._flows if flow.rate > 0
-        ]
-        if not horizons:
-            raise SimulationError("active flows but no positive rates")
-        # Floor the horizon at a nanosecond so floating-point residue can
-        # never re-arm the timer at the current instant forever.
-        horizon = max(min(horizons), 1e-9)
+        if len(flows) == 1:
+            # Single-flow fast path: a lone flow on both its ports runs at
+            # the slower endpoint; no filling rounds needed.
+            flow = flows[0]
+            if len(flow.src_port.flows) == 1 and len(flow.dst_port.flows) == 1:
+                self._set_rate(flow, min(flow.src_port.capacity, flow.dst_port.capacity), now)
+                return
+        remaining_cap: Dict[_Port, float] = {}
+        load: Dict[_Port, int] = {}
+        for flow in flows:
+            for port in (flow.src_port, flow.dst_port):
+                if port not in remaining_cap:
+                    remaining_cap[port] = port.capacity
+                    load[port] = 1
+                else:
+                    load[port] += 1
+        unfrozen: Dict[_Flow, None] = dict.fromkeys(flows)
+        while unfrozen:
+            # The bottleneck port is the one offering the smallest fair
+            # share to its unfrozen flows.
+            bottleneck = min(
+                (port for port in load if load[port] > 0),
+                key=lambda port: remaining_cap[port] / load[port],
+            )
+            # Clamp: repeated subtraction can drive a port's remaining
+            # capacity a few ULPs below zero, and a negative share would
+            # make flows run backwards (a livelock in disguise).
+            share = max(remaining_cap[bottleneck], 0.0) / load[bottleneck]
+            frozen_now = [
+                flow
+                for flow in unfrozen
+                if flow.src_port is bottleneck or flow.dst_port is bottleneck
+            ]
+            for flow in frozen_now:
+                for port in (flow.src_port, flow.dst_port):
+                    remaining_cap[port] -= share
+                    load[port] -= 1
+                del unfrozen[flow]
+                self._set_rate(flow, share, now)
+
+    def _set_rate(self, flow: _Flow, rate: float, now: float) -> None:
+        """Apply a solved rate; push a fresh deadline if it changed."""
+        if rate == flow.rate and flow.deadline != _INF:
+            return  # undisturbed: the existing heap entry stays valid
+        flow.rate = rate
+        if rate <= 0:
+            flow.deadline = _INF
+            return
+        deadline = now + flow.remaining / rate
+        flow.deadline = deadline
+        self._push_seq += 1
+        heapq.heappush(self._completions, (deadline, self._push_seq, flow))
+
+    # ------------------------------------------------------------------
+    # The completion timer (lazy-invalidation heap).
+    # ------------------------------------------------------------------
+    def _arm_timer(self, now: float) -> None:
+        """Point the single engine timer at the earliest live deadline."""
+        heap = self._completions
+        # Shed stale heap tops (finished or re-rated flows) eagerly so the
+        # timer never fires for nothing.
+        while heap and (heap[0][2].finished or heap[0][2].deadline != heap[0][0]):
+            heapq.heappop(heap)
+        if len(heap) > 64 and len(heap) > 4 * len(self._flows):
+            # Compact: churn-heavy runs accumulate superseded entries.
+            live = [
+                entry
+                for entry in heap
+                if not entry[2].finished and entry[2].deadline == entry[0]
+            ]
+            heap[:] = live
+            heapq.heapify(heap)
+        if not heap:
+            if self._flows:
+                raise SimulationError("active flows but no positive rates")
+            return
+        top = heap[0][0]
+        if top >= self._timer_deadline:
+            return  # the armed timer already fires first
+        self._timer_version += 1
+        self._timer_deadline = top
         version = self._timer_version
-        timer = self.sim.timeout(horizon)
+        # Floor the delay at a nanosecond so floating-point residue can
+        # never re-arm the timer at the current instant forever.
+        timer = self.sim.timeout(max(top - now, 1e-9))
         timer.add_callback(lambda _ev: self._on_timer(version))
 
     def _on_timer(self, version: int) -> None:
         if version != self._timer_version:
-            return  # stale timer from before a reallocation
-        self._bank_progress()
-        self._reallocate()
+            return  # stale timer from before a re-arm
+        self._timer_deadline = _INF
+        now = self.sim.now
+        heap = self._completions
+        due: List[_Flow] = []
+        while heap and heap[0][0] <= now:
+            deadline, _seq, flow = heapq.heappop(heap)
+            if flow.finished or flow.deadline != deadline:
+                continue  # lazily invalidated entry
+            flow.deadline = _INF
+            due.append(flow)
+        if not due:
+            self._arm_timer(now)
+            return
+        # Bank the due flows; anything that has not quite crossed the
+        # threshold (float residue) gets a refreshed deadline.
+        finished = self._bank(due, now)
+        for flow in due:
+            if flow.remaining > flow._finish_threshold():
+                deadline = now + max(flow.remaining / flow.rate, 1e-9)
+                flow.deadline = deadline
+                self._push_seq += 1
+                heapq.heappush(heap, (deadline, self._push_seq, flow))
+        for flow in finished:
+            self._retire(flow)
+        for flow in finished:
+            self._deliver(flow)
+        # Departures free bandwidth: re-solve the components the finished
+        # flows' ports belong to (everything, in reference mode).
+        dirty: Dict[_Port, None] = {}
+        for flow in finished:
+            dirty[flow.src_port] = None
+            dirty[flow.dst_port] = None
+        if self.solver == "reference":
+            self._update([])
+        elif dirty:
+            self._update(list(dirty))
+        else:
+            self._arm_timer(now)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -257,6 +501,23 @@ class Switch:
     @property
     def active_flows(self) -> int:
         return len(self._flows)
+
+    def flow_rates(self) -> List[Tuple[str, str, float, float]]:
+        """Active flows as (src, dst, remaining, rate), in arrival order.
+
+        Progress is reported as-if banked to now (without mutating state),
+        so two switches driven through identical histories are directly
+        comparable even though the incremental solver banks lazily.
+        """
+        now = self.sim.now
+        rows = []
+        for flow in self._flows:
+            elapsed = now - flow.last_update
+            remaining = flow.remaining
+            if elapsed > 0 and flow.rate > 0:
+                remaining = max(0.0, remaining - flow.rate * elapsed)
+            rows.append((flow.src.name, flow.dst.name, remaining, flow.rate))
+        return rows
 
     def node_traffic(self) -> Dict[str, FlowStats]:
         """Per-NIC traffic counters, keyed by NIC name."""

@@ -76,12 +76,15 @@ class Resource:
             raise SimulationError("grant released to the wrong resource")
         if grant.released:
             raise SimulationError("grant released twice")
-        grant.released = True
         if self._queue:
+            # O(1) FIFO handoff: the released token passes straight to the
+            # head waiter with no allocation.  The unit never goes idle,
+            # so _in_use is untouched and the token stays live.
             waiter = self._queue.popleft()
             self.total_grants += 1
-            waiter.succeed(_Grant(self))
+            waiter.succeed(grant)
         else:
+            grant.released = True
             self._in_use -= 1
 
 

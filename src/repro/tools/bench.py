@@ -13,6 +13,7 @@ Usage::
     python -m repro.tools.bench fig8 table2 -j 4    # a subset, 4 workers
     python -m repro.tools.bench --compare-jobs 1,4  # suite speedup measurement
     python -m repro.tools.bench --kernels-only      # skip the experiments
+    python -m repro.tools.bench --check             # kernels vs committed report
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ import os
 import platform
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,6 +70,61 @@ def bench_payload_xor(size: int = units.MiB, repeats: int = 64) -> Dict[str, flo
     }
 
 
+def run_network_churn(
+    solver: str, num_nics: int = 96, num_flows: int = 768, stagger: float = 0.0005
+) -> Tuple[float, int]:
+    """Drive a churn burst through one switch; (wall seconds, engine events).
+
+    A deterministic LCG picks endpoints and sizes, so every run (and both
+    solvers) sees the identical arrival/departure history.  This is the
+    shared body of the ``flows_per_sec`` kernel and the microbenchmark
+    event-budget guard.
+    """
+    from repro.sim.network import Nic, Switch
+
+    sim = Simulator()
+    switch = Switch(sim, solver=solver)
+    nics = [switch.attach(Nic(f"n{i}", units.gbps(10))) for i in range(num_nics)]
+
+    def feeder():
+        state = 0x2545F4914F6CDD1D
+        for _ in range(num_flows):
+            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            src = nics[state % num_nics]
+            dst = nics[(state >> 8) % num_nics]
+            if dst is src:
+                dst = nics[(state % num_nics + 1) % num_nics]
+            size = 4 * units.MiB + (state >> 16) % (16 * units.MiB)
+            switch.transfer(src, dst, size)
+            yield sim.timeout(stagger)
+
+    sim.process(feeder())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    if switch.active_flows:
+        raise RuntimeError("churn burst left flows in flight")
+    return elapsed, sim._seq
+
+
+def bench_network_solver(num_nics: int = 96, num_flows: int = 768) -> Dict[str, float]:
+    """Flow throughput of the fair-share allocator (flows/second).
+
+    Measures the incremental solver against the retained brute-force
+    reference on the identical churn history; the ratio is the headline
+    number the incremental solver must defend (>= 5x).
+    """
+    inc_elapsed, _events = run_network_churn("incremental", num_nics, num_flows)
+    ref_elapsed, _events = run_network_churn("reference", num_nics, num_flows)
+    inc = num_flows / inc_elapsed if inc_elapsed else float("inf")
+    ref = num_flows / ref_elapsed if ref_elapsed else float("inf")
+    return {
+        "net_solver_flows_per_sec": inc,
+        "net_solver_reference_flows_per_sec": ref,
+        "net_solver_speedup": inc / ref if ref else float("inf"),
+    }
+
+
 def bench_event_loop(num_events: int = 100_000) -> Dict[str, float]:
     """Dispatch rate of the simulation event loop (events/second)."""
     sim = Simulator()
@@ -92,7 +148,65 @@ def bench_kernels() -> Dict[str, float]:
     kernels: Dict[str, float] = {}
     kernels.update(bench_payload_xor())
     kernels.update(bench_event_loop())
+    kernels.update(bench_network_solver())
     return kernels
+
+
+# ----------------------------------------------------------------------
+# Regression check against the committed report.
+# ----------------------------------------------------------------------
+#: Kernel metrics exempt from the throughput floor (pure ratios are
+#: checked with their own dedicated bounds).
+_RATIO_KEYS = {"net_solver_speedup"}
+
+#: The incremental solver must stay this much faster than the reference.
+MIN_SOLVER_SPEEDUP = 5.0
+
+
+def check_report(path: str, tolerance: float) -> int:
+    """Re-run the kernels and compare against the committed report.
+
+    Every throughput kernel must land within ``tolerance`` (a ratio) of
+    the committed value on the *low* side -- improvements always pass.
+    The solver speedup is additionally held to :data:`MIN_SOLVER_SPEEDUP`
+    in both the committed report and the fresh run.
+    """
+    with open(path) as fh:
+        committed = json.load(fh)
+    baseline = committed.get("kernels", {})
+    current = bench_kernels()
+    failures = []
+    for key, value in current.items():
+        if key in _RATIO_KEYS or key not in baseline:
+            continue
+        floor = baseline[key] / tolerance
+        status = "ok" if value >= floor else "REGRESSION"
+        print(f"  {key:<36} {value:>14,.1f}  (committed {baseline[key]:,.1f}) {status}")
+        if value < floor:
+            failures.append(
+                f"{key}: {value:,.1f} < {floor:,.1f} "
+                f"(committed {baseline[key]:,.1f} / tolerance {tolerance})"
+            )
+    for label, speedup in (
+        ("committed", baseline.get("net_solver_speedup")),
+        ("current", current.get("net_solver_speedup")),
+    ):
+        if speedup is None:
+            failures.append(f"{label} report lacks net_solver_speedup")
+            continue
+        status = "ok" if speedup >= MIN_SOLVER_SPEEDUP else "REGRESSION"
+        print(f"  net_solver_speedup ({label})         {speedup:>14.1f}x  {status}")
+        if speedup < MIN_SOLVER_SPEEDUP:
+            failures.append(
+                f"{label} net_solver_speedup {speedup:.1f}x < {MIN_SOLVER_SPEEDUP}x"
+            )
+    if failures:
+        print("bench-check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench-check ok")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -168,7 +282,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="only run the kernel microbenchmarks (fast)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run the kernels and fail if any regressed beyond "
+        "--check-tolerance of the committed report (reads --output)",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=3.0,
+        metavar="RATIO",
+        help="allowed shortfall ratio vs the committed kernel numbers "
+        "(default 3.0: absorbs machine-to-machine variance)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        print(f"bench-check: kernels vs {args.output} (tolerance {args.check_tolerance}x)")
+        return check_report(args.output, args.check_tolerance)
 
     names = args.experiments or list_experiments()
     for name in names:

@@ -30,6 +30,7 @@ def test_registry_covers_every_table_and_figure():
         "ext-durability",
         "ext-updates",
         "ext-ssd",
+        "ext-scale",
     }
 
 
