@@ -45,6 +45,8 @@ class RaidpClient(DfsClient):
         """Assemble a doubly-lost block from an Lstor plus mirrors."""
         block = locations.block
         sc_id, slot = locations.sc_id, locations.slot
+        trace = self.sim.trace
+        t0 = self.sim.now
         if sc_id is None or slot is None:
             raise BlockMissingError(
                 f"no live replica of {block.name} and no superchunk placement"
@@ -80,6 +82,11 @@ class RaidpClient(DfsClient):
             intensity=0.2,
         )
         self.stats_degraded_reads += 1
+        if trace.enabled:
+            trace.complete(
+                "hdfs", "degraded_read", t0, self.sim.now,
+                block=block.name, sc=sc_id, source=source.name,
+            )
         return accum.result()
 
     def _pick_parity_source(self, sc_id: int) -> RaidpDataNode:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from repro import units
 from repro.errors import JournalError
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.stats import TimeWeightedGauge
 from repro.storage.payload import Payload
 
@@ -77,6 +78,8 @@ class Journal:
         capacity: int = 128 * units.MiB,
         now: float = 0.0,
         strict_capacity: bool = False,
+        trace=None,
+        name: str = "journal",
     ) -> None:
         """``strict_capacity`` makes over-capacity appends raise.
 
@@ -89,6 +92,8 @@ class Journal:
         """
         self.capacity = capacity
         self.strict_capacity = strict_capacity
+        self.name = name
+        self._trace = trace if trace is not None else NULL_TRACER
         self._records: Dict[int, JournalRecord] = {}
         self._next_id = 0
         self._used = 0
@@ -137,6 +142,8 @@ class Journal:
         self.high_water_bytes = max(self.high_water_bytes, self._used)
         self.total_appends += 1
         self.outstanding_gauge.adjust(+1, now)
+        if self._trace.enabled:
+            self._trace.count("journal", self.name, now, len(self._records))
         return record
 
     def mark_committed(self, record_id: int) -> None:
@@ -164,6 +171,8 @@ class Journal:
         self._used -= record.journal_bytes
         self.total_clears += 1
         self.outstanding_gauge.adjust(-1, now)
+        if self._trace.enabled:
+            self._trace.count("journal", self.name, now, len(self._records))
 
     # ------------------------------------------------------------------
     # Crash recovery.

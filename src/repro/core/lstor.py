@@ -57,7 +57,9 @@ class Lstor:
         self.name = name
         self.block_size = block_size
         self.write_rate = write_rate
-        self.journal = Journal(capacity=journal_capacity, now=sim.now)
+        self.journal = Journal(
+            capacity=journal_capacity, now=sim.now, trace=sim.trace, name=name
+        )
         self.failed = False
         self._parity: Dict[int, Payload] = {}
         # Bytes-plane fast path: per-slot writable XOR accumulators, so

@@ -72,6 +72,9 @@ class ClusterMonitor:
         self._running = False
         self._processes: List[Process] = []
         self.reports: List[RecoveryReport] = []
+        #: Completion time of each entry in ``reports`` (same order) --
+        #: the recovery end points of the fault->detect->recover timeline.
+        self.report_times: List[float] = []
         self.detected: List[Tuple[float, Tuple[str, ...]]] = []
         #: In-flight recovery child processes (detection never blocks on
         #: them; they are kept so tests and drains can await them).
@@ -170,6 +173,11 @@ class ClusterMonitor:
                 continue
             stale = self._with_doomed_partners(stale)
             self.detected.append((self.sim.now, tuple(sorted(stale))))
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.instant(
+                    "recovery", "detect", self.sim.now, dead=sorted(stale)
+                )
             # Quarantine *before* spawning: the next sweep (which is not
             # blocked behind this recovery) must not re-detect the set.
             self._handled.update(stale)
@@ -189,11 +197,19 @@ class ClusterMonitor:
         ``recovery_errors`` rather than crashing the monitor; the next
         sweep detects the new casualty independently.
         """
+        trace = self.sim.trace
+        t0 = self.sim.now
         try:
             yield from self._recover_set(stale)
         except ReproError as exc:
             self.recovery_errors.append(
                 (self.sim.now, tuple(sorted(stale)), exc)
+            )
+        if trace.enabled:
+            # Detection-to-restored window (covers every recovery the
+            # dead set fanned out into).
+            trace.complete(
+                "recovery", "window", t0, self.sim.now, dead=sorted(stale)
             )
         return None
 
@@ -250,6 +266,7 @@ class ClusterMonitor:
 
     def _note_report(self, report, stale: List[str]) -> None:
         self.reports.append(report)
+        self.report_times.append(self.sim.now)
         # Remirrors that a stacked failure aborted mid-copy: the metadata
         # rolled back, so the next sweep can retry or degrade gracefully,
         # but the operator should still see them.

@@ -299,6 +299,7 @@ class RecoveryManager:
         options = options or RecoveryOptions()
         report = RecoveryReport(failed_disks=(failed,))
         started = self.sim.now
+        trace = self.sim.trace
         self.dfs.namenode.mark_datanode_dead(failed)
         if failed not in self.dfs.layout.disks:
             # A re-failure of a disk recovery already evicted (e.g. a
@@ -317,6 +318,13 @@ class RecoveryManager:
             self._last_plan_cost = 0.0
             plan = self.plan_single_failure(failed, options)
             report.plan_cost = getattr(self, "_last_plan_cost", 0.0)
+            if trace.enabled:
+                # Planning is pure (charges no simulated time): a
+                # zero-duration phase span keeps it in the breakdown.
+                trace.complete(
+                    "recovery", "plan", self.sim.now, self.sim.now,
+                    failed=failed, moves=len(plan), cost=report.plan_cost,
+                )
             if plan:
                 transfers = [
                     self.sim.process(
@@ -339,6 +347,11 @@ class RecoveryManager:
             for sc_id in frozen:
                 self.dfs.map.unfreeze(sc_id)
         report.duration = self.sim.now - started
+        if trace.enabled:
+            trace.complete(
+                "recovery", "single", started, self.sim.now,
+                failed=failed, remirrored=len(report.remirrored),
+            )
         return report
 
     def _remirror_superchunk(
@@ -346,6 +359,8 @@ class RecoveryManager:
     ) -> Generator:
         """Copy one superchunk's live blocks sender -> receiver."""
         dfs = self.dfs
+        trace = self.sim.trace
+        t0 = self.sim.now
         src = dfs.datanode_by_name(sender)
         dst = dfs.datanode_by_name(receiver)
         blocks = dfs.map.blocks_in(sc_id)
@@ -390,7 +405,19 @@ class RecoveryManager:
                     locations.datanodes.remove(receiver)
                 dst.purge_block(locations.block.name)
             dfs.layout.restore_superchunk(previous, receiver)
+            if trace.enabled:
+                trace.complete(
+                    "recovery", "remirror", t0, self.sim.now,
+                    sc=sc_id, sender=sender, receiver=receiver,
+                    blocks=len(installed), aborted=True,
+                )
             raise
+        if trace.enabled:
+            trace.complete(
+                "recovery", "remirror", t0, self.sim.now,
+                sc=sc_id, sender=sender, receiver=receiver,
+                blocks=len(installed),
+            )
         return None
 
     def _locations_by_name(self, block_name: str) -> Optional[BlockLocations]:
@@ -456,6 +483,7 @@ class RecoveryManager:
         dfs = self.dfs
         report = RecoveryReport(failed_disks=(failed_a, failed_b))
         started = self.sim.now
+        trace = self.sim.trace
         shared = dfs.layout.shared(failed_a, failed_b)
         # Divert writes away from both disks' superchunks for the whole
         # recovery window (paper §3.4).
@@ -515,6 +543,12 @@ class RecoveryManager:
                         self._install_reconstruction(
                             shared, rebuilt, receiver_name, failed_a, failed_b
                         )
+                        if trace.enabled:
+                            trace.complete(
+                                "recovery", "install", self.sim.now,
+                                self.sim.now, sc=shared,
+                                receiver=receiver_name,
+                            )
                 except ReproError as exc:
                     # A third overlapping casualty broke the XOR chain (or
                     # no healthy receiver remains).  That superchunk is
@@ -530,6 +564,11 @@ class RecoveryManager:
             if remirror_rest:
                 for failed in (failed_a, failed_b):
                     plan = self.plan_single_failure(failed, options)
+                    if trace.enabled:
+                        trace.complete(
+                            "recovery", "plan", self.sim.now, self.sim.now,
+                            failed=failed, moves=len(plan),
+                        )
                     if not plan:
                         continue
                     procs = [
@@ -551,6 +590,12 @@ class RecoveryManager:
             for sc_id in frozen:
                 dfs.map.unfreeze(sc_id)
         report.duration = self.sim.now - started
+        if trace.enabled:
+            trace.complete(
+                "recovery", "double", started, self.sim.now,
+                failed_a=failed_a, failed_b=failed_b, shared=shared,
+                remirrored=len(report.remirrored),
+            )
         return report
 
     def _pick_lost_source(self, failed_a: str, failed_b: str, shared):
@@ -615,6 +660,8 @@ class RecoveryManager:
         (logical plane, computed through the Lstor for bit-exactness).
         """
         dfs = self.dfs
+        trace = self.sim.trace
+        t0 = self.sim.now
         receiver = dfs.datanode_by_name(receiver_name)
         full_size = dfs.layout.spec.superchunk_size
         byte_lo, byte_hi = byte_range if byte_range is not None else (0, full_size)
@@ -760,6 +807,13 @@ class RecoveryManager:
         )
         yield self.sim.all_of(threads)
         yield self.sim.process(writer(), name="assemble")
+        if trace.enabled:
+            trace.complete(
+                "recovery", "reconstruct", t0, self.sim.now,
+                sc=shared_sc, source=lost_source.name,
+                receiver=receiver_name, bytes=sc_size,
+                pullers=len(threads),
+            )
         return rebuilt
 
     def _reconstruct_halves(

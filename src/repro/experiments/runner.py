@@ -114,6 +114,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"(default: ${JOBS_ENV_VAR} or 1; 0 = all cores); results are "
         "row-for-row identical at any job count",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a simulation trace; '.jsonl' writes JSON-lines, "
+        "anything else writes Chrome trace format (load in Perfetto or "
+        "chrome://tracing).  Forces --jobs 1 so every simulation runs "
+        "in-process.",
+    )
+    parser.add_argument(
+        "--trace-categories",
+        metavar="CATS",
+        default=None,
+        help="comma-separated event categories to record (e.g. "
+        "'recovery,fault,net'); default records everything, which for a "
+        "prefilled run can be millions of disk-level events",
+    )
     args = parser.parse_args(argv)
     if not args.experiments:
         print("available experiments:")
@@ -124,9 +141,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         if name not in REGISTRY:
             raise KeyError(f"unknown experiment {name!r}; known: {list_experiments()}")
-    for result in run_many(names, full_scale=args.full, jobs=args.jobs):
-        print(result.render())
-        print()
+    if args.trace:
+        from repro.obs.export import write_trace
+        from repro.obs.tracer import Tracer, capture
+
+        categories = (
+            [c.strip() for c in args.trace_categories.split(",") if c.strip()]
+            if args.trace_categories
+            else None
+        )
+        # Worker processes would trace into their own interpreters;
+        # jobs=1 keeps every simulation (and its tracer) in-process.
+        with capture(Tracer(categories=categories)) as tracer:
+            for result in run_many(names, full_scale=args.full, jobs=1):
+                print(result.render())
+                print()
+        write_trace(tracer, args.trace)
+        print(
+            f"trace: {len(tracer)} events from "
+            f"{len(tracer.run_labels)} simulation(s) -> {args.trace}"
+        )
+    else:
+        for result in run_many(names, full_scale=args.full, jobs=args.jobs):
+            print(result.render())
+            print()
     return 0
 
 

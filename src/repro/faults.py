@@ -169,6 +169,12 @@ class FaultInjector:
                 yield self.sim.timeout(delay)
             note = self._apply(fault)
             self.injected.append(InjectionRecord(self.sim.now, fault, note))
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.instant(
+                    "fault", fault.kind, self.sim.now,
+                    target=fault.target, note=note,
+                )
         return len(self.injected)
 
     # ------------------------------------------------------------------

@@ -165,6 +165,8 @@ class DfsClient:
         targets = [self.namenode.datanode(n) for n in locations.datanodes]
         if not targets:
             raise DfsError(f"block {block.name} has no targets")
+        trace = self.sim.trace
+        t0 = self.sim.now
 
         # Cut-through pipeline: one full-block flow per inter-node hop.
         inbound: List[Optional[Event]] = []
@@ -213,11 +215,21 @@ class DfsClient:
             ) from last_error
         if failures:
             self.stats_pipeline_recoveries += 1
+            if trace.enabled:
+                trace.instant(
+                    "hdfs", "pipeline_recover", self.sim.now,
+                    block=block.name, failed=[dn.name for dn in failures],
+                )
             self.namenode.note_pipeline_failure(
                 locations, [dn.name for dn in failures]
             )
             self._after_pipeline_failure(locations, survivors)
         yield from self.post_block_hook(locations, survivors)
+        if trace.enabled:
+            trace.complete(
+                "hdfs", "write_block", t0, self.sim.now,
+                block=block.name, bytes=block.size, replicas=len(targets),
+            )
         return None
 
     def _after_pipeline_failure(
@@ -268,6 +280,8 @@ class DfsClient:
         the read surfaces as :class:`BlockMissingError`, which RAIDP
         clients turn into an Lstor-assisted degraded read.
         """
+        trace = self.sim.trace
+        t0 = self.sim.now
         failed_names: set = set()
         attempt = 0
         while True:
@@ -276,11 +290,22 @@ class DfsClient:
             )
             try:
                 payload = yield from self._read_replica(datanode, locations)
+                if trace.enabled:
+                    trace.complete(
+                        "hdfs", "read_block", t0, self.sim.now,
+                        block=locations.block.name, replica=datanode.name,
+                        failovers=attempt,
+                    )
                 return payload
             except (DfsError, DeviceError) as exc:
                 failed_names.add(datanode.name)
                 attempt += 1
                 self.stats_read_failovers += 1
+                if trace.enabled:
+                    trace.instant(
+                        "hdfs", "read_failover", self.sim.now,
+                        block=locations.block.name, replica=datanode.name,
+                    )
                 if attempt > self.config.read_retries:
                     raise BlockMissingError(
                         f"block {locations.block.name}: "

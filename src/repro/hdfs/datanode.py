@@ -175,6 +175,8 @@ class DataNode:
         """
         if not self.alive:
             raise DfsError(f"write to dead datanode {self.name}")
+        trace = self.sim.trace
+        t0 = self.sim.now
         self.create_block_file(locations)
         if accumulate:
             if inbound is not None:
@@ -197,6 +199,12 @@ class DataNode:
         else:
             yield from self._stream_block(locations, payload, inbound)
         self.stats_blocks_written += 1
+        if trace.enabled:
+            trace.complete(
+                "dn", "write", t0, self.sim.now,
+                dn=self.name, block=locations.block.name,
+                bytes=locations.block.size,
+            )
         return None
 
     def admit_block(self, locations: BlockLocations) -> Generator:
@@ -266,11 +274,18 @@ class DataNode:
         """Read a replica from disk; returns its payload."""
         if not self.alive:
             raise DfsError(f"read from dead datanode {self.name}")
+        trace = self.sim.trace
+        t0 = self.sim.now
         block = locations.block
         payload = self.content_of(block.name)
         yield from self.fs.read(block.name, 0, block.size)
         yield from self._process_stream(block.size)  # checksum verification
         self.stats_blocks_read += 1
+        if trace.enabled:
+            trace.complete(
+                "dn", "read", t0, self.sim.now,
+                dn=self.name, block=block.name, bytes=block.size,
+            )
         return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

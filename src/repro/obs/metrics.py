@@ -1,0 +1,91 @@
+"""Cluster-wide metrics registry: one MetricSet over every component.
+
+The simulator's components each keep their own cheap always-on
+instruments -- per-disk :class:`~repro.sim.stats.DiskStats` counters, a
+queue-depth :class:`~repro.sim.stats.TimeWeightedGauge` and an I/O
+latency :class:`~repro.sim.stats.Histogram` on every :class:`Disk`, an
+active-flow gauge on the :class:`Switch`, and an outstanding-record
+gauge per journal.  This module gathers them into a single labeled
+:class:`~repro.sim.stats.MetricSet` so an experiment (or ``raidpctl``)
+can snapshot the whole cluster in one call.
+
+``cluster_metrics`` *registers* the live gauge/histogram objects (no
+copies -- the registry views the same instruments the components
+mutate), so one registry can be built early and snapshotted repeatedly.
+``cluster_snapshot`` is the one-shot convenience: build, register, and
+return ``as_dict(now)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.stats import MetricSet
+
+
+def cluster_metrics(dfs, metrics: Optional[MetricSet] = None) -> MetricSet:
+    """Register every component instrument of ``dfs`` into one registry.
+
+    Counters are set to the components' *current* cumulative values
+    (re-registering refreshes them); gauges and histograms are the live
+    objects themselves.  Labels identify the component: ``disk=<name>``,
+    ``dn=<name>``, ``journal=<name>``.
+    """
+    metrics = metrics if metrics is not None else MetricSet()
+    now = dfs.sim.now
+
+    for datanode in dfs.datanodes:
+        disk = datanode.disk
+        name = disk.name
+        stats = disk.stats
+        metrics.counter("disk_reads", disk=name).value = stats.reads
+        metrics.counter("disk_writes", disk=name).value = stats.writes
+        metrics.counter("disk_bytes_read", disk=name).value = stats.bytes_read
+        metrics.counter("disk_bytes_written", disk=name).value = (
+            stats.bytes_written
+        )
+        metrics.counter("disk_seeks", disk=name).value = stats.seeks
+        metrics.register_gauge("disk_queue_depth", disk.queue_gauge, disk=name)
+        metrics.register_histogram("disk_io_latency", disk.io_latency, disk=name)
+
+        metrics.counter("dn_blocks_written", dn=datanode.name).value = (
+            datanode.stats_blocks_written
+        )
+        metrics.counter("dn_blocks_read", dn=datanode.name).value = (
+            datanode.stats_blocks_read
+        )
+
+        lstors = getattr(datanode, "lstors", None)
+        if lstors is not None:
+            for lstor in lstors.lstors:
+                journal = lstor.journal
+                metrics.register_gauge(
+                    "journal_outstanding",
+                    journal.outstanding_gauge,
+                    journal=lstor.name,
+                )
+                metrics.counter("journal_appends", journal=lstor.name).value = (
+                    journal.total_appends
+                )
+                metrics.counter("journal_clears", journal=lstor.name).value = (
+                    journal.total_clears
+                )
+                metrics.counter(
+                    "journal_used_bytes", journal=lstor.name
+                ).value = journal.used_bytes
+
+    switch = dfs.switch
+    metrics.counter("net_bytes_total").value = switch.total_bytes
+    metrics.register_gauge("net_active_flows", switch.flows_gauge)
+
+    # Blocks below their replication target right now: the cluster's
+    # exposure to the next failure.
+    at_risk = metrics.gauge("blocks_at_risk", now=now)
+    at_risk.set(float(len(dfs.namenode.under_replicated())), now)
+    return metrics
+
+
+def cluster_snapshot(dfs, now: Optional[float] = None) -> dict:
+    """One-shot metrics snapshot of the whole cluster."""
+    metrics = cluster_metrics(dfs)
+    return metrics.as_dict(now=now if now is not None else dfs.sim.now)

@@ -1,0 +1,315 @@
+"""Span tracing clocked off simulated time.
+
+Design constraints, in order:
+
+1. **Determinism.**  Events carry only simulated timestamps and a
+   tracer-local sequence number.  The tracer never touches the
+   simulator's event heap or its tie-breaking sequence counter, so a
+   traced run and an untraced run execute the exact same schedule
+   (tested bit-for-bit in ``tests/test_tracer.py``).
+2. **Near-zero cost when disabled.**  Instrumentation sites follow the
+   pattern ``trace = self.sim.trace`` / ``if trace.enabled:`` -- one
+   attribute load and one branch on the fast path.  The module-level
+   :data:`NULL_TRACER` answers ``enabled`` with a plain class attribute
+   ``False`` and every method is a no-op, so nothing downstream of the
+   branch ever runs.
+3. **No sim imports.**  ``sim/engine.py`` imports this module; the
+   reverse would be a cycle.  Anything that needs cluster types lives in
+   :mod:`repro.obs.metrics` instead.
+
+Event model (mirrors the Chrome trace phases we export to):
+
+``complete``
+    A span with a start and an end (phase ``"X"``).  Spans in a
+    discrete-event simulation interleave freely across processes, so we
+    record them as closed intervals rather than nested begin/end pairs.
+``instant``
+    A point event (phase ``"i"``): a fault injection, a failure
+    detection, a solver re-solve.
+``count``
+    A sampled counter value (phase ``"C"``): journal occupancy, active
+    flows.  Renders as a counter track in Perfetto.
+
+Every event also carries a *run* index: one :class:`Tracer` may outlive
+several sequential :class:`~repro.sim.engine.Simulator` instances (an
+experiment sweeping seeds), and each simulator registers itself on
+construction.  The run index becomes the ``pid`` in the Chrome export so
+repetitions land on separate tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "activate",
+    "deactivate",
+    "active_tracer",
+    "capture",
+]
+
+
+class TraceEvent:
+    """One recorded occurrence; ``dur`` is 0.0 for instants and counts."""
+
+    __slots__ = ("run", "seq", "phase", "category", "name", "ts", "dur", "attrs")
+
+    def __init__(
+        self,
+        run: int,
+        seq: int,
+        phase: str,
+        category: str,
+        name: str,
+        ts: float,
+        dur: float,
+        attrs: Optional[Dict[str, Any]],
+    ) -> None:
+        self.run = run
+        self.seq = seq
+        self.phase = phase
+        self.category = category
+        self.name = name
+        self.ts = ts
+        self.dur = dur
+        self.attrs = attrs
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "run": self.run,
+            "seq": self.seq,
+            "ph": self.phase,
+            "cat": self.category,
+            "name": self.name,
+            "ts": self.ts,
+        }
+        if self.phase == "X":
+            record["dur"] = self.dur
+        if self.attrs:
+            record["args"] = self.attrs
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.phase!r}, {self.category}/{self.name}, "
+            f"ts={self.ts:.6f}, dur={self.dur:.6f}, run={self.run})"
+        )
+
+
+class _Span:
+    """Context manager recording a complete event on exit.
+
+    Created by :meth:`Tracer.span`; reads the clock object's ``now`` at
+    enter and exit, so it works with a :class:`Simulator` or anything
+    else exposing ``now``.
+    """
+
+    __slots__ = ("_tracer", "_clock", "_category", "_name", "_attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", clock: Any, category: str, name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._clock = clock
+        self._category = category
+        self._name = name
+        self._attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._clock.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._attrs = dict(self._attrs or {})
+            self._attrs["error"] = exc_type.__name__
+        self._tracer.complete(
+            self._category, self._name, self._t0, self._clock.now, **(self._attrs or {})
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in memory.
+
+    ``enabled`` may be flipped to ``False`` to mute an existing tracer;
+    instrumentation sites re-check it on every emission, so the toggle
+    takes effect immediately.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
+        """``categories`` restricts recording to the named categories.
+
+        A full trace of a prefilled table-2 run is millions of disk and
+        journal events; limiting to, say, ``{"recovery", "fault"}`` keeps
+        the file Perfetto-sized while preserving the phase breakdown.
+        ``None`` records everything.
+        """
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+        self._runs: List[str] = []
+        self.current_run = 0
+        self.categories: Optional[frozenset] = (
+            frozenset(categories) if categories is not None else None
+        )
+
+    # -- run bookkeeping ------------------------------------------------
+    def register_run(self, label: str = "") -> int:
+        """Called by each Simulator; returns its run index (Chrome pid)."""
+        index = len(self._runs)
+        self._runs.append(label or f"run-{index}")
+        self.current_run = index
+        return index
+
+    @property
+    def run_labels(self) -> Tuple[str, ...]:
+        return tuple(self._runs)
+
+    # -- emission -------------------------------------------------------
+    def complete(self, category: str, name: str, t0: float, t1: float, **attrs: Any) -> None:
+        """Record a closed span [t0, t1] in simulated seconds."""
+        if self.categories is not None and category not in self.categories:
+            return
+        self._seq += 1
+        self.events.append(
+            TraceEvent(
+                self.current_run, self._seq, "X", category, name, t0, t1 - t0, attrs or None
+            )
+        )
+
+    def instant(self, category: str, name: str, ts: float, **attrs: Any) -> None:
+        """Record a point event at simulated time ``ts``."""
+        if self.categories is not None and category not in self.categories:
+            return
+        self._seq += 1
+        self.events.append(
+            TraceEvent(self.current_run, self._seq, "i", category, name, ts, 0.0, attrs or None)
+        )
+
+    def count(self, category: str, name: str, ts: float, value: float) -> None:
+        """Record a counter sample (Perfetto counter track)."""
+        if self.categories is not None and category not in self.categories:
+            return
+        self._seq += 1
+        self.events.append(
+            TraceEvent(
+                self.current_run, self._seq, "C", category, name, ts, 0.0, {"value": value}
+            )
+        )
+
+    def span(self, clock: Any, category: str, name: str, **attrs: Any) -> _Span:
+        """Context manager measuring ``clock.now`` at enter/exit."""
+        return _Span(self, clock, category, name, attrs)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``enabled`` is a class attribute so the hot-path check costs a
+    single attribute load on the type, with no per-call work.
+    """
+
+    enabled = False
+
+    def register_run(self, label: str = "") -> int:
+        return 0
+
+    @property
+    def run_labels(self) -> Tuple[str, ...]:
+        return ()
+
+    def complete(self, category: str, name: str, t0: float, t1: float, **attrs: Any) -> None:
+        return None
+
+    def instant(self, category: str, name: str, ts: float, **attrs: Any) -> None:
+        return None
+
+    def count(self, category: str, name: str, ts: float, value: float) -> None:
+        return None
+
+    def span(self, clock: Any, category: str, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The process-wide disabled tracer; Simulators default to this.
+NULL_TRACER = NullTracer()
+
+# The currently active tracer.  New Simulators pick this up at
+# construction time; already-built simulators keep whatever they bound.
+_ACTIVE: Any = NULL_TRACER
+
+
+def activate(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) for subsequently built sims."""
+    global _ACTIVE
+    if tracer is None:
+        tracer = Tracer()
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    """Restore the disabled default."""
+    global _ACTIVE
+    _ACTIVE = NULL_TRACER
+
+
+def active_tracer() -> Any:
+    """The tracer new Simulators bind to (NULL_TRACER when disabled)."""
+    return _ACTIVE
+
+
+class capture:
+    """``with capture() as tracer:`` -- activate for the block's duration."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._previous: Any = None
+
+    def __enter__(self) -> Tracer:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+
+
+def iter_spans(events: List[TraceEvent], category: Optional[str] = None) -> Iterator[TraceEvent]:
+    """All complete (phase ``"X"``) events, optionally one category."""
+    for event in events:
+        if event.phase == "X" and (category is None or event.category == category):
+            yield event

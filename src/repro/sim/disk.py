@@ -29,6 +29,7 @@ from repro import units
 from repro.errors import DiskFailedError
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import ElevatorResource, Resource
+from repro.sim.stats import Histogram, TimeWeightedGauge
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,10 @@ class Disk:
         self.head = 0  # byte offset the head currently rests at
         self.failed = False
         self.stats = DiskStats()
+        # Live metrics the registry snapshots: queue depth over time and
+        # end-to-end I/O latency (queueing included).
+        self.queue_gauge = TimeWeightedGauge(start_time=sim.now)
+        self.io_latency = Histogram(bounds=(0.001, 0.005, 0.02, 0.1, 0.5, 2.0))
         if scheduler == "elevator":
             self._queue = ElevatorResource(sim, name=f"{name}.queue")
         else:
@@ -190,15 +195,28 @@ class Disk:
         sync-per-packet workloads collapse (paper Fig. 8, unoptimized).
         """
         self._check_alive()
-        grant = yield self._enqueue(self.head)
+        sim = self.sim
+        t0 = sim.now
+        self.queue_gauge.adjust(1.0, t0)
+        try:
+            grant = yield self._enqueue(self.head)
+        except BaseException:
+            self.queue_gauge.adjust(-1.0, sim.now)
+            raise
         try:
             self._check_alive()
             delay = self.geometry.seek_min + self.geometry.rotational_latency
-            yield self.sim.timeout(delay)
+            yield sim.timeout(delay)
             self.stats.syncs += 1
             self.stats.busy_seconds += delay
         finally:
+            now = sim.now
+            self.queue_gauge.adjust(-1.0, now)
+            self.io_latency.observe(now - t0)
             self._queue.release(grant)
+        trace = sim.trace
+        if trace.enabled:
+            trace.complete("disk", "sync", t0, sim.now, disk=self.name)
         return None
 
     def read_modify_write(
@@ -222,7 +240,14 @@ class Disk:
         if not 0 <= read_bytes <= nbytes:
             raise ValueError(f"read_bytes {read_bytes} outside [0, {nbytes}]")
         self._check_alive()
-        grant = yield self._enqueue(offset)
+        sim = self.sim
+        t0 = sim.now
+        self.queue_gauge.adjust(1.0, t0)
+        try:
+            grant = yield self._enqueue(offset)
+        except BaseException:
+            self.queue_gauge.adjust(-1.0, sim.now)
+            raise
         try:
             self._check_alive()
             duration = self._charge("read", offset, read_bytes)
@@ -233,10 +258,16 @@ class Disk:
             self.stats.bytes_written += nbytes
             self.stats.busy_seconds += settle + self.geometry.transfer_time(nbytes)
             self.head = offset + nbytes
-            yield self.sim.timeout(duration)
+            yield sim.timeout(duration)
             self._check_alive()
         finally:
+            now = sim.now
+            self.queue_gauge.adjust(-1.0, now)
+            self.io_latency.observe(now - t0)
             self._queue.release(grant)
+        trace = sim.trace
+        if trace.enabled:
+            trace.complete("disk", "rmw", t0, sim.now, disk=self.name, bytes=nbytes)
         return duration
 
     def _io(self, kind: str, offset: int, nbytes: int) -> Generator:
@@ -245,14 +276,27 @@ class Disk:
                 f"{kind} outside disk {self.name}: offset={offset} nbytes={nbytes}"
             )
         self._check_alive()
-        grant = yield self._enqueue(offset)
+        sim = self.sim
+        t0 = sim.now
+        self.queue_gauge.adjust(1.0, t0)
+        try:
+            grant = yield self._enqueue(offset)
+        except BaseException:
+            self.queue_gauge.adjust(-1.0, sim.now)
+            raise
         try:
             self._check_alive()
             duration = self._charge(kind, offset, nbytes)
-            yield self.sim.timeout(duration)
+            yield sim.timeout(duration)
             self._check_alive()
         finally:
+            now = sim.now
+            self.queue_gauge.adjust(-1.0, now)
+            self.io_latency.observe(now - t0)
             self._queue.release(grant)
+        trace = sim.trace
+        if trace.enabled:
+            trace.complete("disk", kind, t0, sim.now, disk=self.name, bytes=nbytes)
         return duration
 
     def _charge(self, kind: str, offset: int, nbytes: int) -> float:

@@ -27,6 +27,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.tracer import active_tracer
 
 # A process body: a generator that yields Events and may return a value.
 ProcessBody = Generator["Event", Any, Any]
@@ -162,7 +163,7 @@ class Timeout(Event):
 class Process(Event):
     """A running generator.  As an Event it fires when the body returns."""
 
-    __slots__ = ("body", "name", "_waiting_on", "_had_waiters")
+    __slots__ = ("body", "name", "_waiting_on", "_had_waiters", "_trace_t0")
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "") -> None:
         super().__init__(sim)
@@ -170,6 +171,8 @@ class Process(Event):
         self.name = name or getattr(body, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         self._had_waiters = False
+        if sim.trace.enabled:
+            self._trace_t0 = sim.now
         # Kick off the body on the next step (deferred callback: no
         # bootstrap Event allocation per process).
         sim._schedule_callback(self._start)
@@ -248,11 +251,25 @@ class Process(Event):
         target.add_callback(self._resume)
 
     def _finish_ok(self, value: Any) -> None:
-        self.sim._live_processes -= 1
+        sim = self.sim
+        sim._live_processes -= 1
+        trace = sim.trace
+        if trace.enabled:
+            trace.complete(
+                "engine", "process", getattr(self, "_trace_t0", sim.now), sim.now,
+                proc=self.name,
+            )
         self.succeed(value)
 
     def _finish_fail(self, exc: BaseException) -> None:
-        self.sim._live_processes -= 1
+        sim = self.sim
+        sim._live_processes -= 1
+        trace = sim.trace
+        if trace.enabled:
+            trace.complete(
+                "engine", "process", getattr(self, "_trace_t0", sim.now), sim.now,
+                proc=self.name, error=type(exc).__name__,
+            )
         # Remember the failure; if nobody waits on this process the
         # simulator surfaces it at the end of the run instead of silently
         # swallowing it.
@@ -322,6 +339,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        # The tracer bound at construction (NULL_TRACER unless a tracer
+        # is active); instrumentation sites branch on ``trace.enabled``.
+        # Emitting events never touches the heap or the sequence counter,
+        # so traced and untraced runs execute identical schedules.
+        self.trace = active_tracer()
+        self._trace_run = self.trace.register_run() if self.trace.enabled else 0
         # Entries are (time, seq, Event-or-_Deferred); seq is unique, so
         # the third element is never compared.
         self._heap: List[Tuple[float, int, Any]] = []

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import units
 from repro.errors import SimulationError
 from repro.sim.engine import Event, Simulator
+from repro.sim.stats import TimeWeightedGauge
 
 #: Environment override for the default allocator ("incremental" or
 #: "reference"); an explicit ``Switch(solver=...)`` argument wins.
@@ -177,6 +178,8 @@ class Switch:
         self._timer_deadline = _INF
         self._timer_version = 0
         self.total_bytes = 0
+        #: Concurrent flow count over time (metrics-registry snapshot).
+        self.flows_gauge = TimeWeightedGauge(start_time=sim.now)
 
     # ------------------------------------------------------------------
     # Topology.
@@ -233,6 +236,10 @@ class Switch:
         self._flows[flow] = None
         src_port.flows[flow] = None
         dst_port.flows[flow] = None
+        self.flows_gauge.adjust(1.0, self.sim.now)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.count("net", "active_flows", self.sim.now, len(self._flows))
         self._update([src_port, dst_port])
         return done
 
@@ -283,6 +290,9 @@ class Switch:
             candidates = list(self._flows)
         else:
             candidates = self._component(dirty_ports)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant("net", "resolve", now, flows=len(candidates))
         # Phase 1: bank progress for every flow whose rate may change.
         finished = self._bank(candidates, now)
         # Phase 2: retire finished flows from every registry.
@@ -344,6 +354,7 @@ class Switch:
         del self._flows[flow]
         del flow.src_port.flows[flow]
         del flow.dst_port.flows[flow]
+        self.flows_gauge.adjust(-1.0, self.sim.now)
 
     def _deliver(self, flow: _Flow) -> None:
         """Account a finished flow and schedule its completion delivery."""
@@ -351,6 +362,13 @@ class Switch:
         flow.dst.stats.bytes_received += flow.total
         flow.src.stats.flows_finished += 1
         self.total_bytes += flow.total
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.complete(
+                "net", "flow", flow.started_at, self.sim.now,
+                src=flow.src.name, dst=flow.dst.name, bytes=flow.total,
+            )
+            trace.count("net", "active_flows", self.sim.now, len(self._flows))
         duration = self.sim.now - flow.started_at + self.BASE_LATENCY
         # Deliver completion after the base latency so even an
         # infinitely-fast link has nonzero transfer time.

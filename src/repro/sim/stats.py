@@ -4,12 +4,17 @@ Experiments accumulate metrics through a :class:`MetricSet` so the
 benchmark harness can print consistent tables.  Everything here is plain
 arithmetic -- no simulation dependencies -- which also makes it easy to
 property-test.
+
+Metrics may carry labels (``metrics.counter("disk_reads", disk="n3-d0")``);
+labelled children are stored under a canonical ``name{k=v,...}`` key with
+the label pairs sorted, so registration order never changes the key.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 
 class Counter:
@@ -31,9 +36,23 @@ class TimeWeightedGauge:
 
     Used to report, e.g., the average number of outstanding journal
     records (the paper observes "at most one or two outstanding").
+
+    A gauge observes one *window* of simulated time at a time; windows
+    closed by :meth:`reset` (a new experiment repetition restarting the
+    clock at zero) or folded in by :meth:`merge` accumulate into
+    ``_extra_area``/``_extra_span`` so :meth:`average` stays the
+    lifetime time-weighted mean across all windows.
     """
 
-    __slots__ = ("_value", "_last_time", "_area", "_start", "max_value")
+    __slots__ = (
+        "_value",
+        "_last_time",
+        "_area",
+        "_start",
+        "max_value",
+        "_extra_area",
+        "_extra_span",
+    )
 
     def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
         self._value = initial
@@ -41,6 +60,8 @@ class TimeWeightedGauge:
         self._start = start_time
         self._area = 0.0
         self.max_value = initial
+        self._extra_area = 0.0
+        self._extra_span = 0.0
 
     def set(self, value: float, now: float) -> None:
         if now < self._last_time:
@@ -53,15 +74,42 @@ class TimeWeightedGauge:
     def adjust(self, delta: float, now: float) -> None:
         self.set(self._value + delta, now)
 
+    def reset(self, now: float, value: Optional[float] = None) -> None:
+        """Start a new observation window at ``now``.
+
+        Experiment repetitions restart simulated time at zero, which a
+        plain :meth:`set` would reject as time running backwards.  The
+        completed window's area is folded into the lifetime totals, so
+        :meth:`average` still reflects every window observed.
+        """
+        self._extra_area += self._area
+        self._extra_span += self._last_time - self._start
+        self._area = 0.0
+        self._start = now
+        self._last_time = now
+        if value is not None:
+            self._value = value
+            self.max_value = max(self.max_value, value)
+
+    def merge(self, other: "TimeWeightedGauge") -> None:
+        """Fold another gauge's observed windows into this one's totals."""
+        other_area = other._area + other._value * 0.0 + other._extra_area
+        other_span = (other._last_time - other._start) + other._extra_span
+        self._extra_area += other_area
+        self._extra_span += other_span
+        self.max_value = max(self.max_value, other.max_value)
+
     @property
     def current(self) -> float:
         return self._value
 
-    def average(self, now: float) -> float:
-        span = now - self._start
+    def average(self, now: Optional[float] = None) -> float:
+        if now is None:
+            now = self._last_time
+        span = (now - self._start) + self._extra_span
         if span <= 0:
             return self._value
-        area = self._area + self._value * (now - self._last_time)
+        area = self._area + self._value * (now - self._last_time) + self._extra_area
         return area / span
 
 
@@ -80,43 +128,148 @@ class Histogram:
             self.counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, sample: float) -> None:
-        index = 0
-        while index < len(self.bounds) and sample > self.bounds[index]:
-            index += 1
-        self.counts[index] += 1
+        # bisect_left = number of bounds strictly below the sample, which
+        # matches the old linear scan (equal-to-bound stays in the lower
+        # bucket) in O(log n) instead of O(n).
+        self.counts[bisect_left(self.bounds, sample)] += 1
         self.total += 1
         self.sum += sample
-        self.max = max(self.max, sample)
+        if sample > self.max:
+            self.max = sample
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.bounds) != tuple(self.bounds):
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum += other.sum
+        self.max = max(self.max, other.max)
 
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "max": self.max,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+def _key(name: str, labels: Dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
 
 class MetricSet:
-    """A named bag of counters for one experiment run."""
+    """A named bag of counters, gauges, and histograms for one run."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, TimeWeightedGauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter()
-        return self._counters[name]
+    # -- counters -------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        return counter
 
-    def add(self, name: str, amount: int = 1) -> None:
-        self.counter(name).add(amount)
+    def add(self, name: str, amount: int = 1, **labels: Any) -> None:
+        self.counter(name, **labels).add(amount)
 
-    def get(self, name: str) -> int:
-        counter = self._counters.get(name)
+    def get(self, name: str, **labels: Any) -> int:
+        counter = self._counters.get(_key(name, labels))
         return counter.value if counter is not None else 0
 
-    def as_dict(self) -> Dict[str, int]:
-        return {name: counter.value for name, counter in sorted(self._counters.items())}
+    # -- gauges ---------------------------------------------------------
+    def gauge(self, name: str, now: float = 0.0, **labels: Any) -> TimeWeightedGauge:
+        key = _key(name, labels)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = TimeWeightedGauge(start_time=now)
+        return gauge
+
+    def register_gauge(
+        self, name: str, gauge: TimeWeightedGauge, **labels: Any
+    ) -> TimeWeightedGauge:
+        """Adopt a live gauge owned by a component (shared reference)."""
+        self._gauges[_key(name, labels)] = gauge
+        return gauge
+
+    # -- histograms -----------------------------------------------------
+    def histogram(
+        self, name: str, bounds: Optional[Tuple[float, ...]] = None, **labels: Any
+    ) -> Histogram:
+        key = _key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            if bounds is not None:
+                histogram = Histogram(bounds=tuple(bounds))
+            else:
+                histogram = Histogram()
+            self._histograms[key] = histogram
+        return histogram
+
+    def register_histogram(
+        self, name: str, histogram: Histogram, **labels: Any
+    ) -> Histogram:
+        """Adopt a live histogram owned by a component (shared reference)."""
+        self._histograms[_key(name, labels)] = histogram
+        return histogram
+
+    # -- aggregate views ------------------------------------------------
+    def as_dict(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Structured snapshot of every metric kind.
+
+        ``now`` extends gauge averages to the snapshot instant; omitted,
+        each gauge averages up to its last observation.
+        """
+        return {
+            "counters": {
+                key: counter.value for key, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                key: {
+                    "current": gauge.current,
+                    "max": gauge.max_value,
+                    "average": gauge.average(now),
+                }
+                for key, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                key: histogram.as_dict()
+                for key, histogram in sorted(self._histograms.items())
+            },
+        }
 
     def merge(self, other: "MetricSet") -> None:
-        for name, counter in other._counters.items():
-            self.counter(name).add(counter.value)
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters[key] = Counter()
+            mine.add(counter.value)
+        for key, gauge in other._gauges.items():
+            mine_gauge = self._gauges.get(key)
+            if mine_gauge is None:
+                mine_gauge = self._gauges[key] = TimeWeightedGauge()
+            mine_gauge.merge(gauge)
+        for key, histogram in other._histograms.items():
+            mine_hist = self._histograms.get(key)
+            if mine_hist is None:
+                mine_hist = self._histograms[key] = Histogram(
+                    bounds=tuple(histogram.bounds)
+                )
+            mine_hist.merge(histogram)
 
 
 def mean(samples: Iterable[float]) -> float:

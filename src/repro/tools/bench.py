@@ -144,11 +144,84 @@ def bench_event_loop(num_events: int = 100_000) -> Dict[str, float]:
     }
 
 
+def bench_trace_events(num_events: int = 200_000) -> Dict[str, float]:
+    """Raw tracer emission rate (events/second, tracing enabled)."""
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    tracer.register_run("bench")
+    start = time.perf_counter()
+    for index in range(num_events):
+        ts = index * 0.001
+        tracer.complete("bench", "span", ts, ts + 0.0005, op=index)
+    elapsed = time.perf_counter() - start
+    return {
+        "trace_events_per_sec": num_events / elapsed if elapsed else float("inf"),
+    }
+
+
+def _write_path_once(blocks: int = 96) -> float:
+    """One timed write-path run; returns blocks/second.
+
+    The observability budget's reference workload: 8 nodes, 2-way
+    replication, 4 MiB blocks, every client streaming writes.  This path
+    crosses the client pipeline, both datanodes, the journal, the Lstor,
+    the disks, and the switch -- every instrumented layer.
+    """
+    from repro.core.cluster import RaidpCluster
+    from repro.core.node import RaidpConfig
+    from repro.hdfs.config import DfsConfig
+    from repro.sim.cluster import ClusterSpec
+
+    dfs = RaidpCluster(
+        spec=ClusterSpec(num_nodes=8),
+        config=DfsConfig(block_size=4 * units.MiB, replication=2),
+        raidp=RaidpConfig(),
+        superchunk_size=16 * units.MiB,
+        payload_mode="tokens",
+        seed=1,
+    )
+
+    def workload():
+        per_client = blocks // len(dfs.clients)
+        for index, client in enumerate(dfs.clients):
+            yield from client.write_file(
+                f"/bench/f{index}", per_client * 4 * units.MiB
+            )
+
+    start = time.perf_counter()
+    dfs.sim.run_process(workload())
+    elapsed = time.perf_counter() - start
+    return blocks / elapsed if elapsed else float("inf")
+
+
+def bench_write_path(repeats: int = 3) -> Dict[str, float]:
+    """Write-path throughput with tracing disabled and enabled.
+
+    ``write_path_blocks_per_sec`` is the number the <=3% disabled-
+    tracing overhead budget is enforced against (see
+    :data:`PR3_WRITE_PATH_BASELINE`); the traced rate documents the cost
+    of turning tracing on.
+    """
+    from repro.obs.tracer import Tracer, capture
+
+    disabled = max(_write_path_once() for _ in range(repeats))
+    with capture(Tracer()):
+        traced = max(_write_path_once() for _ in range(repeats))
+    return {
+        "write_path_blocks_per_sec": disabled,
+        "write_path_traced_blocks_per_sec": traced,
+        "write_path_trace_slowdown": disabled / traced if traced else float("inf"),
+    }
+
+
 def bench_kernels() -> Dict[str, float]:
     kernels: Dict[str, float] = {}
     kernels.update(bench_payload_xor())
     kernels.update(bench_event_loop())
     kernels.update(bench_network_solver())
+    kernels.update(bench_trace_events())
+    kernels.update(bench_write_path())
     return kernels
 
 
@@ -157,10 +230,27 @@ def bench_kernels() -> Dict[str, float]:
 # ----------------------------------------------------------------------
 #: Kernel metrics exempt from the throughput floor (pure ratios are
 #: checked with their own dedicated bounds).
-_RATIO_KEYS = {"net_solver_speedup"}
+_RATIO_KEYS = {"net_solver_speedup", "write_path_trace_slowdown"}
 
 #: The incremental solver must stay this much faster than the reference.
 MIN_SOLVER_SPEEDUP = 5.0
+
+#: Write-path throughput measured on this repo immediately *before* the
+#: tracing instrumentation landed (same host class as CI).  The
+#: observability budget says disabled-tracing instrumentation may cost
+#: at most 3%; the bound below adds headroom for run-to-run noise.
+PR3_WRITE_PATH_BASELINE = 3682.2
+#: Allowed shortfall vs the pre-instrumentation baseline (3% budget
+#: plus measurement noise).
+MAX_WRITE_PATH_SHORTFALL = 1.08
+
+
+def _hosts_match(committed: Dict, current_cpu: Optional[int]) -> bool:
+    host = committed.get("host", {})
+    return (
+        host.get("platform") == platform.platform()
+        and host.get("cpu_count") == current_cpu
+    )
 
 
 def check_report(path: str, tolerance: float) -> int:
@@ -200,6 +290,33 @@ def check_report(path: str, tolerance: float) -> int:
             failures.append(
                 f"{label} net_solver_speedup {speedup:.1f}x < {MIN_SOLVER_SPEEDUP}x"
             )
+    # The observability budget: with tracing disabled, the instrumented
+    # write path must stay within MAX_WRITE_PATH_SHORTFALL of the
+    # pre-instrumentation baseline.  Raw blocks/sec do not transfer
+    # across machines, so the absolute bound only applies when the
+    # committed report came from a matching host; elsewhere the generic
+    # tolerance check above still covers relative regressions.
+    write_rate = current.get("write_path_blocks_per_sec")
+    if write_rate is None:
+        failures.append("current run lacks write_path_blocks_per_sec")
+    elif _hosts_match(committed, os.cpu_count()):
+        floor = PR3_WRITE_PATH_BASELINE / MAX_WRITE_PATH_SHORTFALL
+        status = "ok" if write_rate >= floor else "REGRESSION"
+        print(
+            f"  write_path vs pre-trace baseline     {write_rate:>14,.1f}  "
+            f"(floor {floor:,.1f}) {status}"
+        )
+        if write_rate < floor:
+            failures.append(
+                f"write_path_blocks_per_sec {write_rate:,.1f} < {floor:,.1f} "
+                f"(disabled-tracing budget vs baseline "
+                f"{PR3_WRITE_PATH_BASELINE:,.1f})"
+            )
+    else:
+        print(
+            "  write_path vs pre-trace baseline     (skipped: report from "
+            "a different host)"
+        )
     if failures:
         print("bench-check FAILED:")
         for failure in failures:

@@ -87,6 +87,32 @@ class ChaosResult:
             f"{len(fp['blocks'])} blocks verified"
         )
 
+    def render_timeline(self) -> str:
+        """The fault -> detection -> recovery latency table."""
+        rows = self.fingerprint.get("timeline", [])
+        if not rows:
+            return "(no recovery timeline)"
+        lines = [
+            f"{'victims':<24} {'injected':>9} {'detected':>9} "
+            f"{'recovered':>9} {'det lat':>8} {'rec lat':>8}"
+        ]
+        lines.append("-" * len(lines[0]))
+        for row in rows:
+            victims = "+".join(row["victims"])
+
+            def fmt(value: Optional[float]) -> str:
+                return f"{value:9.3f}" if value is not None else f"{'-':>9}"
+
+            def fmt8(value: Optional[float]) -> str:
+                return f"{value:8.3f}" if value is not None else f"{'-':>8}"
+
+            lines.append(
+                f"{victims:<24} {fmt(row['injected_at'])} "
+                f"{fmt(row['detected_at'])} {fmt(row['recovered_at'])} "
+                f"{fmt8(row['detect_latency'])} {fmt8(row['recover_latency'])}"
+            )
+        return "\n".join(lines)
+
 
 # ----------------------------------------------------------------------
 # Guarded traffic bodies.
@@ -268,6 +294,56 @@ def _verify_replicas(dfs, problems: List[str]) -> None:
                 problems.append(f"{block.name}: replica {name} diverged")
 
 
+def recovery_timeline(
+    monitor: ClusterMonitor, injector: FaultInjector
+) -> List[Dict]:
+    """Fault -> detection -> recovery-complete latency per detection.
+
+    One row per detector sweep that declared a dead set: when the
+    underlying fault(s) were injected, when the sweep fired, and when the
+    last recovery report covering the set completed.  ``None`` marks a
+    stage that never happened (e.g. a victim already rejoined).
+    """
+    fault_time: Dict[str, float] = {}
+    for record in injector.injected:
+        fault = record.fault
+        if fault.kind == "disk_fail":
+            fault_time.setdefault(fault.target, record.at)
+        elif fault.kind == "node_crash":
+            node = injector._node(fault.target)
+            for datanode in injector._datanodes_on(node):
+                fault_time.setdefault(datanode.name, record.at)
+    rows: List[Dict] = []
+    for detected_at, names in monitor.detected:
+        injected = [fault_time[name] for name in names if name in fault_time]
+        injected_at = min(injected) if injected else None
+        recovered_at = None
+        for when, report in zip(monitor.report_times, monitor.reports):
+            if when >= detected_at and any(
+                name in report.failed_disks for name in names
+            ):
+                recovered_at = when if recovered_at is None else max(
+                    recovered_at, when
+                )
+        rows.append(
+            {
+                "victims": sorted(names),
+                "injected_at": injected_at,
+                "detected_at": detected_at,
+                "recovered_at": recovered_at,
+                "detect_latency": (
+                    detected_at - injected_at if injected_at is not None else None
+                ),
+                "recover_latency": (
+                    recovered_at - injected_at
+                    if injected_at is not None and recovered_at is not None
+                    else None
+                ),
+            }
+        )
+    return rows
+
+
 def _verify_lifecycle(
     dfs, monitor: ClusterMonitor, injector: FaultInjector, problems: List[str]
 ) -> None:
@@ -426,6 +502,7 @@ def run_chaos(
         ),
         "final_time": dfs.sim.now,
         "network_bytes": dfs.total_network_bytes(),
+        "timeline": recovery_timeline(monitor, injector),
     }
     return ChaosResult(
         seed=seed, ok=not problems, problems=problems, fingerprint=fingerprint
@@ -464,10 +541,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="dump the fingerprint as JSON"
     )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the fault -> detection -> recovery latency table",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a simulation trace of the soak (same formats as the "
+        "experiment runner's --trace)",
+    )
     options = parser.parse_args(argv)
 
-    result = run_repeated(options.seed, runs=max(1, options.runs))
+    if options.trace:
+        from repro.obs.export import write_trace
+        from repro.obs.tracer import Tracer, capture
+
+        with capture(Tracer()) as tracer:
+            result = run_repeated(options.seed, runs=max(1, options.runs))
+        count = write_trace(tracer, options.trace)
+        print(f"trace: {count} events -> {options.trace}")
+    else:
+        result = run_repeated(options.seed, runs=max(1, options.runs))
     print(result.summary())
+    if options.timeline:
+        print(result.render_timeline())
     for problem in result.problems:
         print(f"  PROBLEM: {problem}")
     if options.json:

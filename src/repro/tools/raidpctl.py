@@ -7,6 +7,7 @@ Subcommands::
     raidpctl drill --nodes 8 --double             # failure drill + verify
     raidpctl tco --disk-cost 280 --server-cost 28000 --disks 60
     raidpctl experiments fig8                     # regenerate a figure
+    raidpctl trace run.json                       # summarize a trace file
 
 Every command is deterministic and runs entirely in simulation.
 """
@@ -61,6 +62,22 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="regenerate paper experiments")
     experiments.add_argument("names", nargs="*", default=[])
     experiments.add_argument("--full", action="store_true")
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a trace file (phase totals, recovery breakdowns)",
+    )
+    trace.add_argument("file", help="trace produced by --trace (.json or .jsonl)")
+    trace.add_argument(
+        "--category", default=None, help="restrict to one event category"
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-recovery superchunk rows to print (0 = all; default 8)",
+    )
     return parser
 
 
@@ -200,6 +217,15 @@ def cmd_experiments(args) -> int:
     return experiments_main(argv)
 
 
+def cmd_trace(args) -> int:
+    from repro.obs.export import load_trace, render_summary
+
+    events = load_trace(args.file)
+    print(f"{args.file}: {len(events)} events")
+    print(render_summary(events, category=args.category, limit=args.limit))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -208,6 +234,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "drill": cmd_drill,
         "tco": cmd_tco,
         "experiments": cmd_experiments,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -36,6 +36,26 @@ def test_chaos_soak_injected_and_recovered(soak):
     assert fp["under_replicated"] == 0
 
 
+def test_chaos_timeline_orders_fault_detect_recover(soak):
+    """Every detection row shows fault <= detection <= recovery-complete."""
+    timeline = soak.fingerprint["timeline"]
+    assert timeline, "no timeline rows despite detections"
+    assert len(timeline) == len(soak.fingerprint["detected"])
+    for row in timeline:
+        assert row["victims"]
+        assert row["injected_at"] is not None
+        assert row["recovered_at"] is not None
+        assert row["injected_at"] <= row["detected_at"] <= row["recovered_at"]
+        assert row["detect_latency"] == pytest.approx(
+            row["detected_at"] - row["injected_at"]
+        )
+        assert row["recover_latency"] == pytest.approx(
+            row["recovered_at"] - row["injected_at"]
+        )
+    rendered = soak.render_timeline()
+    assert "victims" in rendered and "rec lat" in rendered
+
+
 def test_chaos_cli_rejects_unknown_args():
     from repro.tools.chaos import main
 

@@ -54,6 +54,39 @@ def test_experiments_passthrough(capsys):
     assert "design space" in capsys.readouterr().out
 
 
+def test_trace_command_summarizes_a_recorded_drill(tmp_path, capsys):
+    """Record a drill under a capture(), export, and summarize via CLI."""
+    from repro.obs.export import write_trace
+    from repro.obs.tracer import capture
+
+    path = str(tmp_path / "drill.json")
+    with capture() as tracer:
+        assert main(["drill", "--nodes", "8", "--double"]) == 0
+    write_trace(tracer, path)
+    capsys.readouterr()
+    assert main(["trace", path]) == 0
+    out = capsys.readouterr().out
+    assert "recovery [double]" in out
+    assert "reconstruct" in out
+    assert "coverage" in out
+
+
+def test_trace_command_category_filter(tmp_path, capsys):
+    from repro.obs.export import write_trace
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    tracer.register_run("t")
+    tracer.complete("disk", "read", 0.0, 1.0)
+    tracer.complete("net", "flow", 0.0, 2.0)
+    path = str(tmp_path / "t.jsonl")
+    write_trace(tracer, path)
+    assert main(["trace", path, "--category", "net"]) == 0
+    out = capsys.readouterr().out
+    assert "net.flow" in out
+    assert "disk.read" not in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -34,6 +34,34 @@ def test_gauge_adjust_and_monotone_time():
         gauge.set(1.0, now=0.5)
 
 
+def test_gauge_reset_rebases_the_clock():
+    # A repetition restarts simulated time at zero; reset() must accept
+    # that where a plain set() raises, while keeping the lifetime average.
+    gauge = TimeWeightedGauge(start_time=0.0)
+    gauge.set(2.0, now=4.0)  # window 1: value 0 for [0, 4)
+    with pytest.raises(ValueError):
+        gauge.set(2.0, now=0.0)
+    gauge.reset(0.0, value=2.0)
+    gauge.set(2.0, now=4.0)  # window 2: value 2 for [0, 4)
+    # Lifetime: 0*4 + 2*4 = 8 over 8 seconds.
+    assert gauge.average(4.0) == pytest.approx(1.0)
+    assert gauge.current == 2.0
+    assert gauge.max_value == 2.0
+
+
+def test_gauge_merge_combines_windows():
+    a = TimeWeightedGauge()
+    a.set(2.0, now=2.0)  # 0 for [0,2)
+    b = TimeWeightedGauge()
+    b.set(4.0, now=1.0)  # 0 for [0,1)
+    b.set(4.0, now=3.0)  # 4 for [1,3)
+    a.merge(b)
+    # a: area 0 over 2s; b: area 8 over 3s -> combined 8 over 5s... plus
+    # a's live value 2.0 extends to the average instant.
+    assert a.average(2.0) == pytest.approx(8.0 / 5.0)
+    assert a.max_value == 4.0
+
+
 def test_gauge_average_at_start_time():
     gauge = TimeWeightedGauge(start_time=5.0, initial=3.0)
     assert gauge.average(5.0) == 3.0
@@ -49,6 +77,37 @@ def test_histogram_buckets_and_mean():
     assert hist.max == 50.0
 
 
+def test_histogram_bisect_matches_linear_scan():
+    # observe() switched to bisect; the bucket choice must match the old
+    # linear scan exactly, including samples equal to a bucket bound.
+    bounds = (0.001, 0.01, 0.1, 1.0, 10.0)
+    hist = Histogram(bounds=bounds)
+    samples = [0.0005, 0.001, 0.0011, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 10.0, 99.0]
+    for sample in samples:
+        hist.observe(sample)
+    expected = [0] * (len(bounds) + 1)
+    for sample in samples:
+        index = 0
+        while index < len(bounds) and sample > bounds[index]:
+            index += 1
+        expected[index] += 1
+    assert hist.counts == expected
+
+
+def test_histogram_merge():
+    a = Histogram(bounds=(1.0, 10.0))
+    b = Histogram(bounds=(1.0, 10.0))
+    a.observe(0.5)
+    b.observe(5.0)
+    b.observe(50.0)
+    a.merge(b)
+    assert a.counts == [1, 1, 1]
+    assert a.total == 3
+    assert a.max == 50.0
+    with pytest.raises(ValueError):
+        a.merge(Histogram(bounds=(2.0,)))
+
+
 def test_metric_set_counters_and_merge():
     metrics = MetricSet()
     metrics.add("reads", 3)
@@ -58,7 +117,48 @@ def test_metric_set_counters_and_merge():
     metrics.merge(other)
     assert metrics.get("reads") == 5
     assert metrics.get("missing") == 0
-    assert metrics.as_dict() == {"reads": 5, "writes": 1}
+    assert metrics.as_dict()["counters"] == {"reads": 5, "writes": 1}
+
+
+def test_metric_set_labels_and_all_kinds():
+    metrics = MetricSet()
+    metrics.add("disk_reads", 3, disk="n0-d0")
+    metrics.add("disk_reads", 1, disk="n1-d0")
+    gauge = metrics.gauge("queue_depth", disk="n0-d0")
+    gauge.set(2.0, now=1.0)
+    hist = metrics.histogram("io_latency", bounds=(1.0,), disk="n0-d0")
+    hist.observe(0.5)
+    snapshot = metrics.as_dict(now=2.0)
+    assert snapshot["counters"] == {
+        "disk_reads{disk=n0-d0}": 3,
+        "disk_reads{disk=n1-d0}": 1,
+    }
+    gauges = snapshot["gauges"]
+    assert gauges["queue_depth{disk=n0-d0}"]["current"] == 2.0
+    assert gauges["queue_depth{disk=n0-d0}"]["average"] == pytest.approx(1.0)
+    hists = snapshot["histograms"]
+    assert hists["io_latency{disk=n0-d0}"]["count"] == 1
+    # Label order never changes the key.
+    metrics.add("xfers", 1, src="a", dst="b")
+    assert metrics.get("xfers", dst="b", src="a") == 1
+
+
+def test_metric_set_merge_all_kinds():
+    a = MetricSet()
+    b = MetricSet()
+    a.gauge("g").set(2.0, now=2.0)
+    b.gauge("g").set(4.0, now=2.0)
+    b.histogram("h", bounds=(1.0,)).observe(0.5)
+    b.add("c", 7)
+    a.merge(b)
+    snapshot = a.as_dict()
+    assert snapshot["counters"] == {"c": 7}
+    assert snapshot["gauges"]["g"]["max"] == 4.0
+    assert snapshot["histograms"]["h"]["count"] == 1
+    # Merging into an empty set deep-copies histogram counts (mutating the
+    # source afterwards must not leak through).
+    b.histogram("h").observe(0.2)
+    assert a.as_dict()["histograms"]["h"]["count"] == 1
 
 
 def test_mean_helper():

@@ -1,0 +1,310 @@
+"""Span tracing: emission, determinism, export round-trips, breakdowns.
+
+The load-bearing guarantee is the determinism test: running the exact
+same workload with tracing on and off must produce bitwise-identical
+simulation results, because the tracer only appends to a Python list --
+it never touches the event heap or the tie-breaking sequence counter.
+"""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.core.cluster import RaidpCluster
+from repro.core.node import RaidpConfig
+from repro.core.recovery import RecoveryManager, RecoveryOptions
+from repro.hdfs.config import DfsConfig
+from repro.obs.export import (
+    load_trace,
+    recovery_breakdown,
+    render_summary,
+    summarize,
+    to_chrome,
+    to_jsonl,
+    write_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Tracer,
+    activate,
+    active_tracer,
+    capture,
+    deactivate,
+    iter_spans,
+)
+from repro.sim.cluster import ClusterSpec
+from repro.sim.engine import Simulator
+from repro.workloads.dfsio import dfsio_read, dfsio_write
+
+
+# ----------------------------------------------------------------------
+# Tracer mechanics.
+# ----------------------------------------------------------------------
+def test_complete_instant_count_emission():
+    tracer = Tracer()
+    tracer.register_run("r0")
+    tracer.complete("disk", "read", 1.0, 2.5, disk="n0-d0")
+    tracer.instant("fault", "disk_fail", 3.0, target="n1")
+    tracer.count("journal", "n0", 3.5, 2)
+    assert len(tracer) == 3
+    phases = [event.phase for event in tracer.events]
+    assert phases == ["X", "i", "C"]
+    span = tracer.events[0]
+    assert span.dur == pytest.approx(1.5)
+    assert span.end == pytest.approx(2.5)
+    assert span.attrs == {"disk": "n0-d0"}
+    # Sequence numbers are strictly increasing: stable sort key.
+    seqs = [event.seq for event in tracer.events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == 3
+
+
+def test_span_context_manager_nesting_and_error():
+    tracer = Tracer()
+    sim = Simulator()
+
+    class Clock:
+        now = 0.0
+
+    clock = Clock()
+    with tracer.span(clock, "outer", "a"):
+        clock.now = 1.0
+        with tracer.span(clock, "inner", "b"):
+            clock.now = 3.0
+    # Inner exits (and records) first; both windows are correct.
+    inner, outer = tracer.events
+    assert (inner.category, inner.ts, inner.end) == ("inner", 1.0, 3.0)
+    assert (outer.category, outer.ts, outer.end) == ("outer", 0.0, 3.0)
+    with pytest.raises(ValueError):
+        with tracer.span(clock, "outer", "boom"):
+            raise ValueError("x")
+    assert tracer.events[-1].attrs["error"] == "ValueError"
+    del sim
+
+
+def test_category_filter_drops_unlisted_categories():
+    tracer = Tracer(categories={"recovery"})
+    tracer.complete("disk", "read", 0.0, 1.0)
+    tracer.complete("recovery", "single", 0.0, 1.0)
+    tracer.instant("net", "resolve", 0.5)
+    assert [event.category for event in tracer.events] == ["recovery"]
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.complete("a", "b", 0.0, 1.0)
+    NULL_TRACER.instant("a", "b", 0.0)
+    NULL_TRACER.count("a", "b", 0.0, 1)
+    with NULL_TRACER.span(None, "a", "b"):
+        pass
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.run_labels == ()
+
+
+def test_activation_scoping():
+    assert active_tracer() is NULL_TRACER
+    tracer = activate()
+    assert active_tracer() is tracer
+    deactivate()
+    assert active_tracer() is NULL_TRACER
+    with capture() as captured:
+        assert active_tracer() is captured
+        with capture() as nested:
+            assert active_tracer() is nested
+        assert active_tracer() is captured
+    assert active_tracer() is NULL_TRACER
+
+
+def test_simulator_binds_the_active_tracer():
+    with capture() as tracer:
+        sim_a = Simulator()
+        sim_b = Simulator()
+    untraced = Simulator()
+    assert sim_a.trace is tracer and sim_b.trace is tracer
+    assert untraced.trace is NULL_TRACER
+    # Each simulator registered its own run index.
+    assert len(tracer.run_labels) == 2
+
+
+# ----------------------------------------------------------------------
+# Determinism: tracing must not perturb the simulation.
+# ----------------------------------------------------------------------
+def _workload_fingerprint(seed=42):
+    """A smoke-scale write+read workload reduced to a hashable tuple."""
+    dfs = RaidpCluster(
+        spec=ClusterSpec(num_nodes=8),
+        config=DfsConfig(replication=2),
+        raidp=RaidpConfig(),
+        payload_mode="tokens",
+        seed=seed,
+    )
+    write = dfsio_write(dfs, 256 * units.MiB)
+    read = dfsio_read(dfs)
+    placements = tuple(
+        (loc.block.name, tuple(loc.datanodes), loc.sc_id, loc.slot)
+        for loc in dfs.namenode.all_blocks()
+    )
+    traffic = tuple(
+        (name, stats.bytes_sent, stats.bytes_received,
+         stats.flows_started, stats.flows_finished)
+        for name, stats in sorted(dfs.switch.node_traffic().items())
+    )
+    return (write.runtime, write.network_bytes, read.runtime, placements, traffic)
+
+
+def test_tracing_does_not_change_the_simulation():
+    """Bitwise-identical results with tracing off, on, and off again."""
+    before = _workload_fingerprint()
+    with capture() as tracer:
+        traced = _workload_fingerprint()
+    after = _workload_fingerprint()
+    assert before == traced == after
+    assert len(tracer) > 0  # the traced run actually recorded events
+
+
+def test_traced_runs_are_reproducible():
+    """Two traced runs produce identical event streams."""
+    def run():
+        with capture() as tracer:
+            _workload_fingerprint()
+        return [
+            (e.run, e.seq, e.phase, e.category, e.name, e.ts, e.dur, e.attrs)
+            for e in tracer.events
+        ]
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Export round-trips.
+# ----------------------------------------------------------------------
+def _sample_tracer():
+    tracer = Tracer()
+    tracer.register_run("sample")
+    tracer.complete("disk", "read", 0.25, 1.75, disk="n0-d0", bytes=4096)
+    tracer.instant("fault", "disk_fail", 2.0, target="n1")
+    tracer.count("journal", "n0", 2.5, 3)
+    return tracer
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _sample_tracer()
+    path = str(tmp_path / "trace.jsonl")
+    assert write_trace(tracer, path) == 3
+    events = load_trace(path)
+    original = [
+        (e.run, e.phase, e.category, e.name, e.ts, e.dur, e.attrs)
+        for e in tracer.events
+    ]
+    loaded = [
+        (e.run, e.phase, e.category, e.name, e.ts, e.dur, e.attrs)
+        for e in events
+    ]
+    assert original == loaded
+
+
+def test_chrome_export_shape_and_round_trip(tmp_path):
+    tracer = _sample_tracer()
+    path = str(tmp_path / "trace.json")
+    assert write_trace(tracer, path) == 3
+    with open(path) as fh:
+        payload = json.load(fh)
+    records = payload["traceEvents"]
+    # Metadata names the process after the registered run label.
+    meta = [r for r in records if r["ph"] == "M"]
+    assert any(
+        r["name"] == "process_name" and r["args"]["name"] == "sim sample"
+        for r in meta
+    )
+    spans = [r for r in records if r["ph"] == "X"]
+    assert spans[0]["ts"] == pytest.approx(0.25e6)  # microseconds
+    assert spans[0]["dur"] == pytest.approx(1.5e6)
+    instants = [r for r in records if r["ph"] == "i"]
+    assert instants[0]["s"] == "t"
+    # Loading rescales back to seconds and drops metadata.
+    events = load_trace(path)
+    assert len(events) == 3
+    assert events[0].ts == pytest.approx(0.25)
+    assert events[0].dur == pytest.approx(1.5)
+
+
+def test_summarize_aggregates_by_category_and_name():
+    tracer = _sample_tracer()
+    tracer.complete("disk", "read", 2.0, 3.0)
+    table = summarize(tracer.events)
+    assert table["disk.read"]["count"] == 2
+    assert table["disk.read"]["total_s"] == pytest.approx(2.5)
+    assert table["disk.read"]["max_s"] == pytest.approx(1.5)
+    assert table["fault.disk_fail"]["count"] == 1
+    assert list(iter_spans(tracer.events, "disk")) == [
+        tracer.events[0], tracer.events[-1]
+    ]
+
+
+# ----------------------------------------------------------------------
+# Recovery breakdowns on a real cluster.
+# ----------------------------------------------------------------------
+def _recovery_cluster(seed=3):
+    dfs = RaidpCluster(
+        spec=ClusterSpec(num_nodes=8),
+        config=DfsConfig(block_size=units.MiB, replication=2),
+        superchunk_size=4 * units.MiB,
+        superchunks_per_disk=2,
+        payload_mode="bytes",
+        seed=seed,
+    )
+
+    def workload():
+        for index, client in enumerate(dfs.clients):
+            yield from client.write_file(f"/t/f{index}", 3 * units.MiB)
+
+    dfs.sim.run_process(workload())
+    return dfs
+
+
+def test_double_failure_phases_sum_to_reported_duration():
+    """The acceptance property behind ``raidpctl trace`` on table2: for a
+    reconstruction-only double recovery, the phase spans exactly cover
+    the report's duration."""
+    with capture() as tracer:
+        dfs = _recovery_cluster()
+        manager = RecoveryManager(dfs)
+        a, b = next(
+            (x, y)
+            for x in dfs.layout.disks
+            for y in dfs.layout.disks
+            if x < y and dfs.layout.shared(x, y) is not None
+        )
+        report = manager.recover_double_failure(
+            a, b, options=RecoveryOptions(), remirror_rest=False, install=False
+        )
+    breakdowns = recovery_breakdown(tracer.events)
+    assert len(breakdowns) == 1
+    item = breakdowns[0]
+    assert item["kind"] == "double"
+    assert item["total_s"] == pytest.approx(report.duration)
+    reconstruct = item["phases"]["reconstruct"]
+    assert reconstruct["sum_s"] == pytest.approx(report.duration)
+    assert item["coverage"] == pytest.approx(1.0)
+    assert item["superchunks"][0]["sc"] == report.reconstructed_sc
+    text = render_summary(tracer.events)
+    assert "recovery [double]" in text and "coverage 100.0%" in text
+
+
+def test_single_failure_phase_spans_cover_remirrors():
+    with capture() as tracer:
+        dfs = _recovery_cluster()
+        manager = RecoveryManager(dfs)
+        victim = dfs.layout.disks[0]
+        report = manager.recover_single_failure(victim)
+    breakdowns = recovery_breakdown(tracer.events)
+    assert len(breakdowns) == 1
+    item = breakdowns[0]
+    assert item["kind"] == "single"
+    assert item["total_s"] == pytest.approx(report.duration)
+    remirror = item["phases"]["remirror"]
+    assert remirror["count"] == len(report.remirrored)
+    # Remirrors run in parallel: the straight sum may exceed the window,
+    # the interval union never does.
+    assert remirror["union_s"] <= item["total_s"] + 1e-9
+    assert item["phases"]["plan"]["count"] == 1
