@@ -4,11 +4,23 @@ PYTHON     ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench bench-kernels bench-check chaos verify experiments clean
+.PHONY: test lint typecheck bench bench-kernels bench-check chaos verify experiments clean
 
 # Tier-1: the full unit/integration/property suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Determinism & invariant linter (rules RDP001..RDP006; see DESIGN.md §10).
+lint:
+	$(PYTHON) -m repro.lint src/
+
+# Strict typing gate (config in pyproject.toml).  mypy is a CI-installed
+# dev dependency; locally the target degrades to a visible skip rather
+# than failing machines without it.
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy src/repro \
+		|| echo "typecheck: mypy not installed; skipping (CI runs it)"
 
 # Full pytest-benchmark harness (slow; asserts every figure/table shape).
 bench:
@@ -30,9 +42,10 @@ CHAOS_ARGS ?=
 chaos:
 	$(PYTHON) -m repro.tools.chaos --runs 2 $(CHAOS_ARGS)
 
-# Tier-1 tests + chaos soak + the smoke-scale perf report.  Regenerates
-# BENCH_sim.json so perf changes show up as a diff in review.
-verify: test chaos
+# Lint + typing gates, tier-1 tests, chaos soak, and the smoke-scale
+# perf report.  Regenerates BENCH_sim.json so perf changes show up as a
+# diff in review.
+verify: lint typecheck test chaos
 	$(PYTHON) -m repro.tools.bench --compare-jobs 1,4
 
 # Regenerate every table/figure of the paper (uses all cores).

@@ -12,7 +12,7 @@ window.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 from repro.core.layout import Layout
 from repro.core.node import RaidpDataNode
@@ -26,7 +26,13 @@ from repro.storage.payload import XorAccumulator
 class RaidpClient(DfsClient):
     """A DFS client that falls back to Lstor-assisted degraded reads."""
 
-    def __init__(self, *args, layout: Layout, superchunk_map: SuperchunkMap, **kwargs):
+    def __init__(
+        self,
+        *args: Any,
+        layout: Layout,
+        superchunk_map: SuperchunkMap,
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.layout = layout
         self.map = superchunk_map

@@ -27,6 +27,7 @@ from repro.hdfs.config import DfsConfig
 from repro.hdfs.namenode import NameNode
 from repro.sim.cluster import Cluster, ClusterSpec
 from repro.sim.engine import Simulator
+from repro.sim.network import Switch
 from repro.storage.payload import ContentFactory, Payload
 
 
@@ -150,7 +151,7 @@ class RaidpCluster:
         return datanode
 
     @property
-    def switch(self):
+    def switch(self) -> Switch:
         return self.cluster.switch
 
     def total_network_bytes(self) -> int:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import units
 from repro.errors import JournalError
@@ -78,7 +78,7 @@ class Journal:
         capacity: int = 128 * units.MiB,
         now: float = 0.0,
         strict_capacity: bool = False,
-        trace=None,
+        trace: Optional[Any] = None,
         name: str = "journal",
     ) -> None:
         """``strict_capacity`` makes over-capacity appends raise.

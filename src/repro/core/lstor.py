@@ -23,7 +23,7 @@ the transfer into the device, charged at ``write_rate``.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, Hashable, List, Optional
 
 import numpy as np
 
@@ -118,7 +118,7 @@ class Lstor:
             self._parity[slot] = parity
         return parity
 
-    def absorb(self, slot: int, delta: Payload, tag=None) -> None:
+    def absorb(self, slot: int, delta: Payload, tag: Optional[Hashable] = None) -> None:
         """Fold ``delta`` (= old XOR new) into the parity at ``slot``.
 
         ``tag``, when given, deduplicates: a delta absorbed under the same
@@ -228,7 +228,12 @@ class LstorStack:
             lstor.reset(now)
 
     def absorb_update(
-        self, shard_index: int, slot: int, old: Payload, new: Payload, tag=None
+        self,
+        shard_index: int,
+        slot: int,
+        old: Payload,
+        new: Payload,
+        tag: Optional[Hashable] = None,
     ) -> None:
         """Propagate one block update into every parity in the stack.
 

@@ -29,11 +29,13 @@ Failure-lifecycle semantics (the hardened behavior):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.core.recovery import RecoveryManager, RecoveryOptions, RecoveryReport
 from repro.errors import ReproError
+from repro.hdfs.datanode import DataNode
 from repro.sim.engine import Process
+from repro.sim.network import Nic
 
 
 @dataclass(frozen=True)
@@ -58,7 +60,7 @@ class ClusterMonitor:
 
     def __init__(
         self,
-        dfs,
+        dfs: Any,
         config: Optional[MonitorConfig] = None,
         recovery_options: Optional[RecoveryOptions] = None,
     ) -> None:
@@ -112,10 +114,10 @@ class ClusterMonitor:
     # ------------------------------------------------------------------
     # Heartbeats.
     # ------------------------------------------------------------------
-    def _healthy(self, datanode) -> bool:
+    def _healthy(self, datanode: DataNode) -> bool:
         return datanode.alive and not datanode.disk.failed and datanode.node.alive
 
-    def _heartbeat_target_nic(self, datanode):
+    def _heartbeat_target_nic(self, datanode: DataNode) -> Optional[Nic]:
         """NIC the heartbeat RPC lands on: the NameNode's node.
 
         Falls back to the first client's node (the historical endpoint)
@@ -134,7 +136,7 @@ class ClusterMonitor:
             return None
         return node.primary_nic
 
-    def _heartbeat_loop(self, datanode) -> Generator:
+    def _heartbeat_loop(self, datanode: DataNode) -> Generator:
         interval = self.config.heartbeat_interval
         while self._running:
             if self._healthy(datanode):
@@ -264,7 +266,7 @@ class ClusterMonitor:
             self._note_report(report, stale)
         return None
 
-    def _note_report(self, report, stale: List[str]) -> None:
+    def _note_report(self, report: RecoveryReport, stale: List[str]) -> None:
         self.reports.append(report)
         self.report_times.append(self.sim.now)
         # Remirrors that a stacked failure aborted mid-copy: the metadata
@@ -290,7 +292,7 @@ class ClusterMonitor:
     # ------------------------------------------------------------------
     # Rejoin (the revival path).
     # ------------------------------------------------------------------
-    def rejoin(self, datanode) -> Dict[str, List[str]]:
+    def rejoin(self, datanode: DataNode) -> Dict[str, List[str]]:
         """Readmit a revived DataNode (node restarted, disk replaced).
 
         The HDFS re-registration protocol: the node comes back up, sends

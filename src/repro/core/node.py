@@ -28,9 +28,10 @@ from repro.core.layout import Layout
 from repro.core.lstor import LstorStack
 from repro.core.placement import SuperchunkMap
 from repro.errors import DfsError
-from repro.hdfs.block import BlockLocations
+from repro.hdfs.block import Block, BlockLocations
 from repro.hdfs.config import DfsConfig
 from repro.hdfs.datanode import DataNode
+from repro.sim.disk import Disk
 from repro.sim.engine import Event, Simulator
 from repro.sim.network import Switch
 from repro.sim.node import Node
@@ -86,7 +87,7 @@ class RaidpDataNode(DataNode):
         superchunk_map: SuperchunkMap,
         raidp: RaidpConfig,
         switch: Switch,
-        disk=None,
+        disk: Optional[Disk] = None,
         name: Optional[str] = None,
     ) -> None:
         super().__init__(
@@ -362,7 +363,13 @@ class RaidpDataNode(DataNode):
         return None
 
     def _absorb_parity(
-        self, sc_id: int, slot: int, old: Payload, new: Payload, nbytes: int, tag=None
+        self,
+        sc_id: int,
+        slot: int,
+        old: Payload,
+        new: Payload,
+        nbytes: int,
+        tag: Optional[Tuple] = None,
     ) -> Generator:
         """Logical parity update plus the device-transfer time charge."""
         self.lstors.absorb_update(self.shard_index_of(sc_id), slot, old, new, tag=tag)
@@ -443,7 +450,7 @@ class RaidpDataNode(DataNode):
         return None
 
     def _patched_content(
-        self, block, version: int, old: Payload, block_offset: int, nbytes: int
+        self, block: Block, version: int, old: Payload, block_offset: int, nbytes: int
     ) -> Payload:
         """Deterministic post-update content of a partially updated block."""
         from repro.storage.payload import BytesPayload

@@ -13,7 +13,7 @@ replica) and balances load by picking the least-full eligible superchunk.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.layout import Layout, LayoutSpec
 from repro.errors import CapacityError, PlacementError
@@ -98,7 +98,7 @@ class RaidpPlacement(PlacementPolicy):
         layout: Layout,
         superchunk_map: SuperchunkMap,
         seed: int = 0xA1D9,
-        node_of=None,
+        node_of: Optional[Callable[[str], str]] = None,
     ) -> None:
         """``node_of`` maps a DataNode name to its server, so the
         writer-local preference works on multi-disk servers (the writer
@@ -139,7 +139,7 @@ class RaidpPlacement(PlacementPolicy):
         # Balance by *disk* load (the busier disk of each pair), so every
         # spindle receives an even share of the write stream; ties break
         # by superchunk fullness, then by the seeded RNG.
-        def pressure(sc_id: int):
+        def pressure(sc_id: int) -> Tuple[int, int, int]:
             a, b = self._pair(sc_id)
             loads = sorted(
                 (self.map.load_of_disk(a), self.map.load_of_disk(b)), reverse=True

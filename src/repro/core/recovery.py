@@ -486,13 +486,18 @@ class RecoveryManager:
         trace = self.sim.trace
         shared = dfs.layout.shared(failed_a, failed_b)
         # Divert writes away from both disks' superchunks for the whole
-        # recovery window (paper §3.4).
-        frozen = {
-            sc_id
-            for failed in (failed_a, failed_b)
-            if failed in dfs.layout.disks
-            for sc_id in dfs.layout.superchunks_of(failed)
-        }
+        # recovery window (paper §3.4).  Sorted: freeze/unfreeze must not
+        # run in set-hash order (RDP002) -- a shared superchunk appears
+        # in both disks' lists, and ordered traversal keeps every
+        # freeze-window trace and fingerprint bitwise reproducible.
+        frozen = sorted(
+            {
+                sc_id
+                for failed in (failed_a, failed_b)
+                if failed in dfs.layout.disks
+                for sc_id in dfs.layout.superchunks_of(failed)
+            }
+        )
         for sc_id in frozen:
             dfs.map.freeze(sc_id)
         try:
@@ -598,7 +603,9 @@ class RecoveryManager:
             )
         return report
 
-    def _pick_lost_source(self, failed_a: str, failed_b: str, shared):
+    def _pick_lost_source(
+        self, failed_a: str, failed_b: str, shared: Optional[int]
+    ) -> RaidpDataNode:
         """Choose which failed disk's Lstor drives the reconstruction.
 
         Either side works in a clean double failure.  When a *third*

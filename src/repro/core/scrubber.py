@@ -17,17 +17,21 @@ which is exactly why the local repair works).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Generator, List
 
 import numpy as np
 
 from repro.core.node import RaidpDataNode
 from repro.errors import DataLossError, RecoveryError
 from repro.hdfs.block import BlockLocations
+from repro.hdfs.datanode import DataNode
 from repro.storage.payload import BytesPayload, Payload, TokenPayload, XorAccumulator
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cluster import RaidpCluster
 
-def corrupt_block(datanode, block_name: str, seed: int = 0xBAD) -> None:
+
+def corrupt_block(datanode: DataNode, block_name: str, seed: int = 0xBAD) -> None:
     """Inject bit rot into one stored replica, beneath the parity.
 
     In the bytes plane some bytes are flipped; in the token plane the
@@ -60,18 +64,20 @@ class ScrubReport:
 class Scrubber:
     """Scans DataNodes for checksum mismatches and repairs them."""
 
-    def __init__(self, dfs) -> None:
+    def __init__(self, dfs: "RaidpCluster") -> None:
         self.dfs = dfs
         self.sim = dfs.sim
 
     # ------------------------------------------------------------------
     # Detection.
     # ------------------------------------------------------------------
-    def verify_block(self, datanode, block_name: str) -> bool:
+    def verify_block(self, datanode: DataNode, block_name: str) -> bool:
         """Does the stored content still match its recorded checksum?"""
         return datanode.content_checksum_ok(block_name)
 
-    def scan(self, datanode, repair: bool = True, source: str = "mirror") -> Generator:
+    def scan(
+        self, datanode: DataNode, repair: bool = True, source: str = "mirror"
+    ) -> Generator:
         """Process body: read and verify every replica on ``datanode``.
 
         Charges a full disk read plus checksum computation per block.
@@ -98,7 +104,7 @@ class Scrubber:
     # Repair.
     # ------------------------------------------------------------------
     def repair(
-        self, datanode, locations: BlockLocations, source: str = "mirror"
+        self, datanode: DataNode, locations: BlockLocations, source: str = "mirror"
     ) -> Generator:
         """Restore one corrupted replica.
 
@@ -115,7 +121,9 @@ class Scrubber:
             raise ValueError(f"unknown repair source {source!r}")
         return None
 
-    def _repair_from_mirror(self, datanode, locations: BlockLocations) -> Generator:
+    def _repair_from_mirror(
+        self, datanode: DataNode, locations: BlockLocations
+    ) -> Generator:
         block = locations.block
         others = [n for n in locations.datanodes if n != datanode.name]
         mirrors = [
@@ -138,7 +146,7 @@ class Scrubber:
         return None
 
     def _repair_from_local_parity(
-        self, datanode, locations: BlockLocations
+        self, datanode: DataNode, locations: BlockLocations
     ) -> Generator:
         if not isinstance(datanode, RaidpDataNode):
             raise RecoveryError("local-parity repair requires a RAIDP datanode")
@@ -167,6 +175,8 @@ class Scrubber:
         return None
 
     @staticmethod
-    def _matches_checksum(datanode, block_name: str, candidate: Payload) -> bool:
+    def _matches_checksum(
+        datanode: DataNode, block_name: str, candidate: Payload
+    ) -> bool:
         expected = datanode._checksums.get(block_name)
-        return expected is not None and expected == hash(candidate)
+        return expected is not None and expected == candidate.checksum()

@@ -30,6 +30,7 @@ from repro.errors import BlockMissingError, DfsError
 from repro.hdfs.block import Block, BlockLocations
 from repro.hdfs.config import DfsConfig
 from repro.hdfs.localfs import LocalFs
+from repro.sim.disk import Disk
 from repro.sim.engine import Event, Simulator
 from repro.sim.node import Node
 from repro.sim.resources import Lock
@@ -52,7 +53,7 @@ class DataNode:
         factory: ContentFactory,
         fs_policy: str = "extent",
         io_batch: Optional[int] = None,
-        disk=None,
+        disk: Optional[Disk] = None,
         name: Optional[str] = None,
     ) -> None:
         """``disk``/``name`` support multi-disk servers: one DataNode per
@@ -80,23 +81,25 @@ class DataNode:
         return self._name
 
     @property
-    def disk(self):
+    def disk(self) -> Disk:
         return self._disk
 
     # ------------------------------------------------------------------
     # Content store (the data plane).
     # ------------------------------------------------------------------
     def store_content(self, block_name: str, payload: Payload, version: int) -> None:
+        # CRC-based (never hash(): PYTHONHASHSEED-randomized), so the
+        # checksum record is stable across processes and runs.
         self._contents[block_name] = payload
         self._versions[block_name] = version
-        self._checksums[block_name] = hash(payload)
+        self._checksums[block_name] = payload.checksum()
 
     def content_checksum_ok(self, block_name: str) -> bool:
         """Does the stored content still match its checksum record?"""
         expected = self._checksums.get(block_name)
         if expected is None:
             return False
-        return hash(self.content_of(block_name)) == expected
+        return self.content_of(block_name).checksum() == expected
 
     def content_of(self, block_name: str) -> Payload:
         try:

@@ -18,12 +18,12 @@ return ``as_dict(now)``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.sim.stats import MetricSet
 
 
-def cluster_metrics(dfs, metrics: Optional[MetricSet] = None) -> MetricSet:
+def cluster_metrics(dfs: Any, metrics: Optional[MetricSet] = None) -> MetricSet:
     """Register every component instrument of ``dfs`` into one registry.
 
     Counters are set to the components' *current* cumulative values
@@ -85,7 +85,7 @@ def cluster_metrics(dfs, metrics: Optional[MetricSet] = None) -> MetricSet:
     return metrics
 
 
-def cluster_snapshot(dfs, now: Optional[float] = None) -> dict:
+def cluster_snapshot(dfs: Any, now: Optional[float] = None) -> dict:
     """One-shot metrics snapshot of the whole cluster."""
     metrics = cluster_metrics(dfs)
     return metrics.as_dict(now=now if now is not None else dfs.sim.now)

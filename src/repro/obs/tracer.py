@@ -39,7 +39,8 @@ repetitions land on separate tracks.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from types import TracebackType
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
 __all__ = [
     "TraceEvent",
@@ -126,7 +127,12 @@ class _Span:
         self._t0 = self._clock.now
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         if exc_type is not None:
             self._attrs = dict(self._attrs or {})
             self._attrs["error"] = exc_type.__name__
@@ -143,7 +149,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         return None
 
 
@@ -303,7 +314,12 @@ class capture:
         _ACTIVE = self._tracer
         return self._tracer
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         global _ACTIVE
         _ACTIVE = self._previous
 

@@ -17,7 +17,7 @@ Three primitives cover every need in the reproduction:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.engine import Event, Simulator
@@ -245,7 +245,7 @@ class ElevatorResource:
         event.succeed(_Grant(self))
 
 
-def with_resource(resource: Resource, body):
+def with_resource(resource: Resource, body: Generator) -> Generator:
     """Process helper: run generator ``body`` while holding ``resource``.
 
     Usage: ``result = yield from with_resource(disk_lock, do_io())``.

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
+from math import fsum
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 
@@ -273,6 +274,11 @@ class MetricSet:
 
 
 def mean(samples: Iterable[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty sequence."""
+    """Arithmetic mean; 0.0 for an empty sequence.
+
+    ``math.fsum`` (exact float summation) rather than ``sum``: repeated
+    means over experiment repetitions must not drift with summation
+    order (RDP005).
+    """
     values = list(samples)
-    return sum(values) / len(values) if values else 0.0
+    return fsum(values) / len(values) if values else 0.0

@@ -23,6 +23,16 @@ class Payload:
     def is_zero(self) -> bool:
         raise NotImplementedError
 
+    def checksum(self) -> int:
+        """A content checksum stable across processes and runs.
+
+        Both planes derive it from CRC32 (never ``hash()``, whose
+        str/bytes hashing is randomized per process), so checksums may
+        be persisted, fingerprinted, and compared across worker
+        processes.
+        """
+        raise NotImplementedError
+
     def __xor__(self, other: "Payload") -> "Payload":
         return self.xor(other)
 
@@ -196,6 +206,14 @@ class TokenPayload(Payload):
     def is_zero(self) -> bool:
         return not self.tokens
 
+    def checksum(self) -> int:
+        """CRC32 over the canonically ordered token set (process-stable)."""
+        return zlib.crc32(
+            "\x1f".join(f"{name}\x1e{version}" for name, version in sorted(self.tokens)).encode(
+                "utf-8"
+            )
+        )
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, TokenPayload) and self.tokens == other.tokens
 
@@ -244,6 +262,20 @@ class XorAccumulator:
         return self._payload
 
 
+def _stable_seed(seed: int, name: str, version: int) -> int:
+    """A 64-bit RNG seed independent of ``PYTHONHASHSEED``.
+
+    The previous implementation seeded the generator from
+    ``hash((seed, name, version))`` -- but ``hash()`` of a ``str`` is
+    randomized per interpreter process, so the *content* of minted
+    payloads (and every CRC-derived fingerprint over them) differed from
+    run to run and between parallel-runner workers.  Two domain-
+    separated CRC32s give a stable 64-bit seed instead.
+    """
+    key = f"{seed}\x1f{version}\x1f{name}".encode("utf-8")
+    return (zlib.crc32(b"hi\x1f" + key) << 32) | zlib.crc32(b"lo\x1f" + key)
+
+
 class ContentFactory:
     """Mints deterministic payloads for named data in either plane.
 
@@ -266,9 +298,7 @@ class ContentFactory:
     def make(self, name: str, version: int, length: int) -> Payload:
         if self.mode == "tokens":
             return TokenPayload.of(name, version)
-        rng = np.random.default_rng(
-            (hash((self.seed, name, version)) & 0x7FFFFFFFFFFFFFFF)
-        )
+        rng = np.random.default_rng(_stable_seed(self.seed, name, version))
         return BytesPayload.adopt(rng.integers(0, 256, size=length, dtype=np.uint8))
 
     def zero(self, length: int) -> Payload:

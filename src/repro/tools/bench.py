@@ -215,6 +215,30 @@ def bench_write_path(repeats: int = 3) -> Dict[str, float]:
     }
 
 
+def bench_lint(repeats: int = 3) -> Dict[str, float]:
+    """Linter throughput over the repo's own ``src/`` tree (files/sec).
+
+    The lint gate runs in ``make verify`` and CI on every change; this
+    kernel keeps its cost visible so a rule regression that turns the
+    AST walk quadratic shows up in the perf report, not in CI latency.
+    """
+    from pathlib import Path
+
+    from repro.lint.cli import build_engine
+
+    src = Path(__file__).resolve().parents[2]
+    best = 0.0
+    files = 1
+    for _ in range(repeats):
+        engine = build_engine()
+        start = time.perf_counter()
+        engine.lint_paths([str(src)])
+        elapsed = time.perf_counter() - start
+        files = max(engine.files_checked, 1)
+        best = max(best, files / elapsed if elapsed else float("inf"))
+    return {"lint_files_per_sec": best}
+
+
 def bench_kernels() -> Dict[str, float]:
     kernels: Dict[str, float] = {}
     kernels.update(bench_payload_xor())
@@ -222,6 +246,7 @@ def bench_kernels() -> Dict[str, float]:
     kernels.update(bench_network_solver())
     kernels.update(bench_trace_events())
     kernels.update(bench_write_path())
+    kernels.update(bench_lint())
     return kernels
 
 

@@ -1,0 +1,89 @@
+"""End-to-end lint and typing gates over the real source tree.
+
+These are the tests that make the invariants *stick*: the whole of
+``src/`` must lint clean with the repo allowlists, and every annotation
+in the strict packages must actually resolve (a missing import hidden
+by ``from __future__ import annotations`` fails here, the way it once
+did for ``repro.obs.tracer``).
+"""
+
+import ast
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+from typing import get_type_hints
+
+import pytest
+
+import repro.core
+import repro.sim
+from repro.lint.cli import build_engine
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def test_source_tree_lints_clean():
+    engine = build_engine()
+    findings = engine.lint_paths([str(SRC)])
+    errors = [f for f in findings if f.severity == "error"]
+    assert errors == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in errors
+    )
+
+
+def test_source_tree_has_no_unsuppressed_warnings():
+    engine = build_engine()
+    findings = engine.lint_paths([str(SRC)])
+    warnings = [f for f in findings if f.severity == "warning"]
+    assert warnings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in warnings
+    )
+
+
+def _strict_modules():
+    names = []
+    for package in (repro.core, repro.sim):
+        for info in pkgutil.iter_modules(package.__path__):
+            names.append(f"{package.__name__}.{info.name}")
+    return sorted(names)
+
+
+def _type_checking_names(module):
+    """Names imported only under ``if TYPE_CHECKING:`` (cycle breakers).
+
+    Those are invisible at runtime by design; the resolution sweep
+    treats them as opaque placeholder types rather than failures.
+    """
+    source = inspect.getsource(module)
+    names = {}
+    for node in ast.walk(ast.parse(source)):
+        if not (isinstance(node, ast.If) and getattr(node.test, "id", "") == "TYPE_CHECKING"):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    names[bound] = type(bound, (), {})
+    return names
+
+
+@pytest.mark.parametrize("module_name", _strict_modules())
+def test_annotations_resolve(module_name):
+    """Every annotation in the strict packages resolves to a real type.
+
+    ``from __future__ import annotations`` defers evaluation, so a
+    forgotten typing import only explodes when someone *resolves* the
+    hints -- which is exactly what this does, for every public callable.
+    """
+    module = importlib.import_module(module_name)
+    localns = _type_checking_names(module)
+    for name, obj in sorted(vars(module).items()):
+        if name.startswith("_") or getattr(obj, "__module__", None) != module_name:
+            continue
+        if inspect.isfunction(obj):
+            get_type_hints(obj, localns=localns)
+        elif inspect.isclass(obj):
+            for _mname, method in sorted(vars(obj).items()):
+                if inspect.isfunction(method):
+                    get_type_hints(method, localns=localns)
