@@ -161,6 +161,26 @@ class RaidpCluster:
         return self.sim.run(until=until)
 
     # ------------------------------------------------------------------
+    # Warm-start snapshots (see repro.sim.snapshot).
+    # ------------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """Capture the quiescent cluster for later :meth:`from_snapshot`.
+
+        Only legal between runs: the simulator refuses to pickle while
+        events are scheduled or a process is mid-body.
+        """
+        from repro.sim.snapshot import capture
+
+        return capture(self)
+
+    @classmethod
+    def from_snapshot(cls, blob: bytes) -> "RaidpCluster":
+        """Restore a fresh, unshared cluster from :meth:`snapshot` bytes."""
+        from repro.sim.snapshot import checked_restore
+
+        return checked_restore(blob, cls)
+
+    # ------------------------------------------------------------------
     # Invariant checking (used by tests and the failure drills).
     # ------------------------------------------------------------------
     def verify_mirrors(self) -> None:

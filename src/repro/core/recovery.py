@@ -774,17 +774,17 @@ class RecoveryManager:
                 xor_time = run / options.xor_rate
                 if options.lock_mode == "superchunk":
                     grant = yield lock_whole.request()
-                    yield self.sim.timeout(options.lock_overhead + xor_time)
+                    yield self.sim.sleep(options.lock_overhead + xor_time)
                     lock_whole.release(grant)
                 else:
                     grant = yield lock_ranges.acquire(offset, offset + run)
                     bus_share = options.streaming_bus_share if streaming else 0.0
-                    yield self.sim.timeout(
+                    yield self.sim.sleep(
                         options.lock_overhead + (1.0 - bus_share) * xor_time
                     )
                     if bus_share > 0.0:
                         bus_grant = yield memory_bus.request()
-                        yield self.sim.timeout(bus_share * xor_time)
+                        yield self.sim.sleep(bus_share * xor_time)
                         memory_bus.release(bus_grant)
                     lock_ranges.release(grant)
                 offset += run
@@ -951,6 +951,99 @@ class RecoveryManager:
 # ======================================================================
 # RAID-6 rebuild baseline (Table 2, bottom rows).
 # ======================================================================
+class _Raid6Rig:
+    """Hardware for the distributed RAID-6 rebuild: one rebuild master,
+    two replacement disks, ``surviving_disks`` survivors on one switch.
+
+    The rebuild runs as two strictly sequential phases -- gather+decode,
+    then writeback -- which share no simulation state beyond the clock:
+    the read phase never touches the replacement disks and the writeback
+    phase never touches the sources.  The phases can therefore run in
+    separate simulators (``Simulator(start=boundary)`` for the second)
+    and produce bitwise-identical completion times to the single-sim
+    monolith, which the experiment decomposition exploits to pipeline
+    RAID-6 rows across pool workers.  ``simulate_raid6_rebuild`` keeps
+    the monolithic schedule as the differential oracle for that claim.
+    """
+
+    def __init__(
+        self,
+        surviving_disks: int,
+        chunk_size: int,
+        nic_rate: float,
+        disk_rate: Optional[float],
+        start: float = 0.0,
+    ) -> None:
+        from repro.sim.disk import Disk, DiskGeometry
+        from repro.sim.network import Switch
+
+        self.chunk_size = chunk_size
+        self.sim = Simulator(start=start)
+        geometry = (
+            DiskGeometry(transfer_rate=disk_rate) if disk_rate else DiskGeometry()
+        )
+        self.switch = Switch(self.sim)
+        self.master = self.switch.attach(Nic("master", nic_rate))
+        self.replacements = [
+            self.switch.attach(Nic(f"replacement{i}", nic_rate)) for i in range(2)
+        ]
+        self.sources = [
+            self.switch.attach(Nic(f"src{i}", nic_rate))
+            for i in range(surviving_disks)
+        ]
+        self.source_disks = [
+            Disk(self.sim, geometry, name=f"sd{i}") for i in range(surviving_disks)
+        ]
+        self.replacement_disks = [
+            Disk(self.sim, geometry, name=f"rd{i}") for i in range(2)
+        ]
+
+    def source_stream(self, index: int, data_per_disk: int, xor_rate: float) -> Generator:
+        sim, chunk_size = self.sim, self.chunk_size
+        offset = 0
+        while offset < data_per_disk:
+            run = min(chunk_size, data_per_disk - offset)
+            read = sim.process(self.source_disks[index].read(offset, run))
+            flow = self.switch.transfer(self.sources[index], self.master, run)
+            yield sim.all_of([read, flow])
+            # Decode on the master (serialized per received chunk).
+            yield sim.sleep(run / xor_rate)
+            offset += run
+        return None
+
+    def writeback(self, index: int, data_per_disk: int) -> Generator:
+        sim, chunk_size = self.sim, self.chunk_size
+        offset = 0
+        while offset < data_per_disk:
+            run = min(chunk_size, data_per_disk - offset)
+            flow = self.switch.transfer(self.master, self.replacements[index], run)
+            write = sim.process(self.replacement_disks[index].write(offset, run))
+            yield sim.all_of([flow, write])
+            offset += run
+        return None
+
+    def read_all(self, data_per_disk: int, xor_rate: float) -> Generator:
+        readers = [
+            self.sim.process(self.source_stream(i, data_per_disk, xor_rate), name=f"src{i}")
+            for i in range(len(self.source_disks))
+        ]
+        yield self.sim.all_of(readers)
+
+    def write_all(self, data_per_disk: int) -> Generator:
+        writers = [
+            self.sim.process(self.writeback(i, data_per_disk), name=f"wb{i}")
+            for i in range(2)
+        ]
+        yield self.sim.all_of(writers)
+
+
+def _raid6_xor_rate(chunk_size: int, xor_rate: Optional[float]) -> float:
+    if xor_rate is not None:
+        return xor_rate
+    # Same cache-vs-streaming decode rates as the RAIDP reconstruction.
+    return RecoveryOptions(chunk_size=chunk_size).xor_rate
+
+
 def simulate_raid6_rebuild(
     data_per_disk: int,
     surviving_disks: int = 14,
@@ -964,59 +1057,54 @@ def simulate_raid6_rebuild(
     Every stripe lost two blocks, so *all* data on *all* survivors must be
     read and shipped to the rebuild master, decoded, and two disks'
     worth of data written back out.  Returns the duration in seconds.
+
+    Runs both phases in one simulator; the per-phase entry points below
+    decompose the same schedule for the parallel runner.
     """
-    if xor_rate is None:
-        # Same cache-vs-streaming decode rates as the RAIDP reconstruction.
-        defaults = RecoveryOptions(chunk_size=chunk_size)
-        xor_rate = defaults.xor_rate
-    sim = Simulator()
-    from repro.sim.disk import DiskGeometry
-    from repro.sim.network import Switch
-
-    geometry = (
-        DiskGeometry(transfer_rate=disk_rate) if disk_rate else DiskGeometry()
-    )
-    switch = Switch(sim)
-    master = switch.attach(Nic("master", nic_rate))
-    replacements = [
-        switch.attach(Nic(f"replacement{i}", nic_rate)) for i in range(2)
-    ]
-    sources = [switch.attach(Nic(f"src{i}", nic_rate)) for i in range(surviving_disks)]
-    from repro.sim.disk import Disk
-
-    source_disks = [Disk(sim, geometry, name=f"sd{i}") for i in range(surviving_disks)]
-    replacement_disks = [Disk(sim, geometry, name=f"rd{i}") for i in range(2)]
-
-    def source_stream(index: int) -> Generator:
-        offset = 0
-        while offset < data_per_disk:
-            run = min(chunk_size, data_per_disk - offset)
-            read = sim.process(source_disks[index].read(offset, run))
-            flow = switch.transfer(sources[index], master, run)
-            yield sim.all_of([read, flow])
-            # Decode on the master (serialized per received chunk).
-            yield sim.timeout(run / xor_rate)
-            offset += run
-        return None
-
-    def writeback(index: int) -> Generator:
-        offset = 0
-        while offset < data_per_disk:
-            run = min(chunk_size, data_per_disk - offset)
-            flow = switch.transfer(master, replacements[index], run)
-            write = sim.process(replacement_disks[index].write(offset, run))
-            yield sim.all_of([flow, write])
-            offset += run
-        return None
+    xor_rate = _raid6_xor_rate(chunk_size, xor_rate)
+    rig = _Raid6Rig(surviving_disks, chunk_size, nic_rate, disk_rate)
 
     def rebuild() -> Generator:
-        readers = [
-            sim.process(source_stream(i), name=f"src{i}")
-            for i in range(surviving_disks)
-        ]
-        yield sim.all_of(readers)
-        writers = [sim.process(writeback(i), name=f"wb{i}") for i in range(2)]
-        yield sim.all_of(writers)
+        yield from rig.read_all(data_per_disk, xor_rate)
+        yield from rig.write_all(data_per_disk)
 
-    sim.run_process(rebuild())
-    return sim.now
+    rig.sim.run_process(rebuild())
+    return rig.sim.now
+
+
+def simulate_raid6_read_phase(
+    data_per_disk: int,
+    surviving_disks: int = 14,
+    chunk_size: int = 4 * units.MiB,
+    nic_rate: float = units.gbps(10),
+    disk_rate: Optional[float] = None,
+    xor_rate: Optional[float] = None,
+) -> float:
+    """Phase 1 of the RAID-6 rebuild: gather and decode every survivor.
+
+    Returns the boundary time at which the last chunk has been decoded,
+    suitable for handing to :func:`simulate_raid6_writeback_phase` as its
+    ``start``.
+    """
+    xor_rate = _raid6_xor_rate(chunk_size, xor_rate)
+    rig = _Raid6Rig(surviving_disks, chunk_size, nic_rate, disk_rate)
+    rig.sim.run_process(rig.read_all(data_per_disk, xor_rate))
+    return rig.sim.now
+
+
+def simulate_raid6_writeback_phase(
+    start: float,
+    data_per_disk: int,
+    surviving_disks: int = 14,
+    chunk_size: int = 4 * units.MiB,
+    nic_rate: float = units.gbps(10),
+    disk_rate: Optional[float] = None,
+) -> float:
+    """Phase 2 of the RAID-6 rebuild: stream decoded data to both
+    replacement disks, starting at the read phase's boundary time.
+
+    Returns the rebuild completion time (the Table 2 row value).
+    """
+    rig = _Raid6Rig(surviving_disks, chunk_size, nic_rate, disk_rate, start=start)
+    rig.sim.run_process(rig.write_all(data_per_disk))
+    return rig.sim.now

@@ -43,20 +43,45 @@ BYTES_PER_NODE = 32 * units.MiB
 SUPERCHUNK_SIZE = 32 * units.MiB
 SUPERCHUNKS_PER_DISK = 8
 
-#: Task key: (scheme, num_nodes, placement seed).
-TaskKey = Tuple[str, int, int]
+#: Task key: (scheme, num_nodes, placement seed) for HDFS-3 points, or
+#: (scheme, num_nodes, seed, phase) with phase "write"/"recovery" for
+#: RAIDP points.  The write phase returns its measurements plus a
+#: snapshot of the post-ingest cluster; the recovery phase restores that
+#: snapshot instead of re-simulating the whole ingest.  Legacy 3-tuple
+#: RAIDP keys still run both phases in one simulator.
+TaskKey = Tuple
 
 
 def tasks(
     full_scale: bool = False, seeds: Optional[Sequence[int]] = None
 ) -> List[TaskKey]:
     seeds = tuple(seeds) if seeds is not None else SCALE_SEEDS
-    return [
-        (scheme, num_nodes, seed)
-        for num_nodes in SIZES
-        for scheme in SCHEMES
-        for seed in seeds
-    ]
+    keys: List[TaskKey] = []
+    for num_nodes in SIZES:
+        for scheme in SCHEMES:
+            for seed in seeds:
+                if scheme == "raidp":
+                    keys.append((scheme, num_nodes, seed, "write"))
+                    keys.append((scheme, num_nodes, seed, "recovery"))
+                else:
+                    keys.append((scheme, num_nodes, seed))
+    return keys
+
+
+def task_deps(key: TaskKey) -> Tuple[TaskKey, ...]:
+    """The recovery phase consumes the write phase's cluster snapshot."""
+    if len(key) == 4 and key[3] == "recovery":
+        return ((key[0], key[1], key[2], "write"),)
+    return ()
+
+
+def task_cost(key: TaskKey) -> float:
+    """Relative weight: ingest work scales with node count; recovery on a
+    restored snapshot is roughly constant (one superchunk rebuild)."""
+    if len(key) == 4 and key[3] == "recovery":
+        return 1.0
+    num_nodes = key[1]
+    return max(1.0, num_nodes / 16.0)
 
 
 def _build(scheme: str, num_nodes: int, seed: int):
@@ -79,21 +104,7 @@ def _build(scheme: str, num_nodes: int, seed: int):
     )
 
 
-def run_task(key: TaskKey, full_scale: bool = False) -> Tuple[float, float, Optional[float]]:
-    """One sweep point: (write seconds, net GB per node, recovery seconds).
-
-    Recovery is RAIDP-only (HDFS-3 re-replication has no double-failure
-    reconstruction to time) and reported as ``None`` for hdfs3.
-    """
-    from repro.workloads.dfsio import dfsio_write
-
-    scheme, num_nodes, seed = key
-    dataset = num_nodes * BYTES_PER_NODE * (8 if full_scale else 1)
-    dfs = _build(scheme, num_nodes, seed)
-    write = dfsio_write(dfs, dataset)
-    per_node_gb = dfs.switch.total_bytes / num_nodes / units.GB
-    if scheme != "raidp":
-        return write.runtime, per_node_gb, None
+def _recover_worst_pair(dfs: RaidpCluster) -> float:
     # Fail the first superchunk-sharing disk pair: the paper's worst case
     # (one superchunk lost on both copies, rebuilt via Lstor parity).
     disks = dfs.layout.disks
@@ -111,15 +122,47 @@ def run_task(key: TaskKey, full_scale: bool = False) -> Tuple[float, float, Opti
         remirror_rest=False,
         install=False,
     )
-    return write.runtime, per_node_gb, report.duration
+    return report.duration
+
+
+def run_task(
+    key: TaskKey, full_scale: bool = False, deps: Optional[Dict[TaskKey, Tuple]] = None
+) -> Tuple:
+    """One sweep point or phase.
+
+    - hdfs3 / legacy raidp keys return (write seconds, net GB per node,
+      recovery seconds or None).
+    - ("raidp", n, seed, "write") returns (write seconds, net GB per
+      node, snapshot bytes) -- the snapshot travels to the recovery task
+      as a dependency result (pickled across the pool boundary, which is
+      what makes spawn-context workers work at all).
+    - ("raidp", n, seed, "recovery") returns the final row triple
+      (write seconds, net GB per node, recovery seconds).
+    """
+    from repro.workloads.dfsio import dfsio_write
+
+    scheme, num_nodes, seed = key[:3]
+    if len(key) == 4 and key[3] == "recovery":
+        write_s, per_node_gb, blob = (deps or {})[(scheme, num_nodes, seed, "write")]
+        dfs = RaidpCluster.from_snapshot(blob)
+        return write_s, per_node_gb, _recover_worst_pair(dfs)
+    dataset = num_nodes * BYTES_PER_NODE * (8 if full_scale else 1)
+    dfs = _build(scheme, num_nodes, seed)
+    write = dfsio_write(dfs, dataset)
+    per_node_gb = dfs.switch.total_bytes / num_nodes / units.GB
+    if scheme != "raidp":
+        return write.runtime, per_node_gb, None
+    if len(key) == 4:
+        return write.runtime, per_node_gb, dfs.snapshot()
+    return write.runtime, per_node_gb, _recover_worst_pair(dfs)
 
 
 def merge(
-    keyed: Dict[TaskKey, Tuple[float, float, Optional[float]]],
+    keyed: Dict[TaskKey, Tuple],
     full_scale: bool = False,
     seeds: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
-    from statistics import mean
+    from repro.sim.stats import mean
 
     seeds = tuple(seeds) if seeds is not None else SCALE_SEEDS
     result = ExperimentResult(
@@ -129,7 +172,14 @@ def merge(
     )
     for num_nodes in SIZES:
         for scheme in SCHEMES:
-            samples = [keyed[(scheme, num_nodes, seed)] for seed in seeds]
+            samples = [
+                keyed[
+                    (scheme, num_nodes, seed, "recovery")
+                    if scheme == "raidp"
+                    else (scheme, num_nodes, seed)
+                ]
+                for seed in seeds
+            ]
             result.add(f"{scheme} write @{num_nodes}", mean(s[0] for s in samples))
             result.add(
                 f"{scheme} net GB/node @{num_nodes}", mean(s[1] for s in samples)

@@ -10,7 +10,7 @@ replication dominates.
 
 from __future__ import annotations
 
-from statistics import mean
+from repro.sim.stats import mean
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (

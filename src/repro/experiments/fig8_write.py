@@ -8,7 +8,7 @@ relative to HDFS-3 (the paper prints these ratios above its bars).
 
 from __future__ import annotations
 
-from statistics import mean
+from repro.sim.stats import mean
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (

@@ -8,7 +8,7 @@ writing produced and the replica choice is uniform.
 
 from __future__ import annotations
 
-from statistics import mean
+from repro.sim.stats import mean
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (

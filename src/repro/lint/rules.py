@@ -503,7 +503,12 @@ class FloatSumRule(Rule):
     id = "RDP005"
     title = "float accumulation goes through math.fsum / MetricSet"
     severity = "error"
-    paths = ("*/repro/sim/*", "*/repro/obs/*", "*/repro/analysis/*")
+    paths = (
+        "*/repro/sim/*",
+        "*/repro/obs/*",
+        "*/repro/analysis/*",
+        "*/repro/experiments/*",
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         parents = _parents(ctx.tree)

@@ -206,7 +206,7 @@ class Disk:
         try:
             self._check_alive()
             delay = self.geometry.seek_min + self.geometry.rotational_latency
-            yield sim.timeout(delay)
+            yield sim.sleep(delay)
             self.stats.syncs += 1
             self.stats.busy_seconds += delay
         finally:
@@ -258,7 +258,7 @@ class Disk:
             self.stats.bytes_written += nbytes
             self.stats.busy_seconds += settle + self.geometry.transfer_time(nbytes)
             self.head = offset + nbytes
-            yield sim.timeout(duration)
+            yield sim.sleep(duration)
             self._check_alive()
         finally:
             now = sim.now
@@ -275,23 +275,29 @@ class Disk:
             raise ValueError(
                 f"{kind} outside disk {self.name}: offset={offset} nbytes={nbytes}"
             )
-        self._check_alive()
+        # _check_alive() inlined throughout: this body runs once per
+        # simulated I/O and the failure flag is a plain attribute.
+        if self.failed:
+            raise DiskFailedError(f"I/O on failed disk {self.name}")
         sim = self.sim
+        queue_gauge = self.queue_gauge
         t0 = sim.now
-        self.queue_gauge.adjust(1.0, t0)
+        queue_gauge.adjust(1.0, t0)
         try:
             grant = yield self._enqueue(offset)
         except BaseException:
-            self.queue_gauge.adjust(-1.0, sim.now)
+            queue_gauge.adjust(-1.0, sim.now)
             raise
         try:
-            self._check_alive()
+            if self.failed:
+                raise DiskFailedError(f"I/O on failed disk {self.name}")
             duration = self._charge(kind, offset, nbytes)
-            yield sim.timeout(duration)
-            self._check_alive()
+            yield sim.sleep(duration)
+            if self.failed:
+                raise DiskFailedError(f"I/O on failed disk {self.name}")
         finally:
             now = sim.now
-            self.queue_gauge.adjust(-1.0, now)
+            queue_gauge.adjust(-1.0, now)
             self.io_latency.observe(now - t0)
             self._queue.release(grant)
         trace = sim.trace

@@ -24,7 +24,8 @@ Example::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.tracer import active_tracer
@@ -118,7 +119,13 @@ class Event:
         self.triggered = True
         self._value = value
         self._exception = exception
-        self.sim._schedule_event(self)
+        # Inlined zero-delay _schedule_event: triggering is the hottest
+        # scheduling site (every succeed/fail lands here).
+        if not self._scheduled:
+            self._scheduled = True
+            sim = self.sim
+            sim._seq += 1
+            sim._now_bucket.append((sim._seq, self))
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` once the event has been dispatched."""
@@ -158,6 +165,21 @@ class Timeout(Event):
         self.triggered = True
         self._value = value
         sim._schedule_event(self, delay=delay)
+
+
+class _Sleep(Event):
+    """A pooled one-shot delay: the engine-internal cousin of Timeout.
+
+    Obtained via :meth:`Simulator.sleep` and recycled by the run loop the
+    moment it has dispatched, so delay-heavy hot paths (disk I/O, network
+    timers, recovery chunk loops) allocate no event per wait in steady
+    state.  The pooling contract: the caller must consume the event
+    immediately (``yield`` it from exactly one process, or attach exactly
+    one callback) and must not retain a reference past its firing --
+    internal call sites only, never part of the public waiting API.
+    """
+
+    __slots__ = ()
 
 
 class Process(Event):
@@ -230,8 +252,8 @@ class Process(Event):
             return
         self._waiting_on = None
         try:
-            if event.exception is not None:
-                target = self.body.throw(event.exception)
+            if event._exception is not None:
+                target = self.body.throw(event._exception)
             else:
                 target = self.body.send(event._value)
         except StopIteration as stop:
@@ -304,8 +326,8 @@ class AllOf(Event):
     def _on_child(self, child: Event) -> None:
         if self.triggered:
             return
-        if child.exception is not None:
-            self.fail(child.exception)
+        if child._exception is not None:
+            self.fail(child._exception)
             return
         self._remaining -= 1
         if self._remaining == 0:
@@ -328,17 +350,25 @@ class AnyOf(Event):
     def _on_child(self, index: int, child: Event) -> None:
         if self.triggered:
             return
-        if child.exception is not None:
-            self.fail(child.exception)
+        if child._exception is not None:
+            self.fail(child._exception)
         else:
             self.succeed((index, child._value))
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event) triples."""
+    """The event loop: a priority queue of (time, seq, event) triples.
 
-    def __init__(self) -> None:
-        self.now: float = 0.0
+    Zero-delay work (event triggers, process bootstraps, deferred
+    callbacks) dominates the schedule, so it bypasses the heap entirely:
+    a FIFO *now-bucket* holds entries for the current instant and the run
+    loop merges bucket and heap by sequence number, which reproduces the
+    exact (time, seq) dispatch order of a single heap bit-for-bit while
+    skipping two O(log n) heap operations per entry.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now: float = start
         # The tracer bound at construction (NULL_TRACER unless a tracer
         # is active); instrumentation sites branch on ``trace.enabled``.
         # Emitting events never touches the heap or the sequence counter,
@@ -348,11 +378,58 @@ class Simulator:
         # Entries are (time, seq, Event-or-_Deferred); seq is unique, so
         # the third element is never compared.
         self._heap: List[Tuple[float, int, Any]] = []
+        # Zero-delay entries for the current instant: (seq, entry) pairs,
+        # appended in seq order (seq is globally monotone).
+        self._now_bucket: Deque[Tuple[int, Any]] = deque()
         self._seq = 0
         self._live_processes = 0
         self._failed: List[Tuple[Process, BaseException]] = []
         # Recycled _Deferred heap entries (see _schedule_callback).
         self._deferred_pool: List[_Deferred] = []
+        # Recycled _Sleep events (see sleep()).
+        self._sleep_pool: List[_Sleep] = []
+        # One-shot hooks run when the cascade at the current instant has
+        # drained, before simulated time advances (see add_flush_hook).
+        self._flush_hooks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Snapshot support.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle a *quiescent* simulator: clock and seq counter only.
+
+        Live generators are unpicklable, so snapshots are only legal when
+        no work is scheduled and no process is mid-body.  The seq counter
+        travels with the snapshot so a restored run consumes the same
+        tie-break sequence a cold run would have at this point.
+        """
+        if (
+            self._heap
+            or self._now_bucket
+            or self._flush_hooks
+            or self._live_processes
+            or self._failed
+        ):
+            raise SimulationError(
+                "simulator snapshot requires quiescence: empty schedule, "
+                "no live processes, no pending failures"
+            )
+        return {"now": self.now, "seq": self._seq}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.now = float(state["now"])
+        # Tracing state is process-local and never snapshotted; rebind to
+        # whatever tracer is active in the restoring process.
+        self.trace = active_tracer()
+        self._trace_run = self.trace.register_run() if self.trace.enabled else 0
+        self._heap = []
+        self._now_bucket = deque()
+        self._seq = int(state["seq"])
+        self._live_processes = 0
+        self._failed = []
+        self._deferred_pool = []
+        self._sleep_pool = []
+        self._flush_hooks = []
 
     # ------------------------------------------------------------------
     # Event construction helpers.
@@ -362,6 +439,36 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Event:
+        """A pooled fixed delay for engine-internal hot paths.
+
+        Semantically a :meth:`timeout`, but the returned event is recycled
+        the moment it dispatches.  The caller must therefore consume it
+        immediately -- yield it from exactly one process or attach exactly
+        one callback -- and must not retain a reference past its firing.
+        Composite events (``all_of``/``any_of``) keep child references, so
+        they must use :meth:`timeout`.
+        """
+        if delay < 0:
+            raise ValueError(f"negative sleep: {delay}")
+        pool = self._sleep_pool
+        if pool:
+            event = pool.pop()
+            event._callbacks = None
+            event._value = value
+            event._exception = None
+        else:
+            event = _Sleep(self)
+            event._value = value
+        event.triggered = True
+        event._scheduled = True
+        self._seq += 1
+        if delay == 0.0:
+            self._now_bucket.append((self._seq, event))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        return event
 
     def process(self, body: ProcessBody, name: str = "") -> Process:
         return Process(self, body, name=name)
@@ -380,7 +487,10 @@ class Simulator:
             return
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay == 0.0:
+            self._now_bucket.append((self._seq, event))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
     def _schedule_callback(self, fn: Callable[[], None]) -> None:
         """Queue a bare callback at the current time (fast path).
@@ -397,49 +507,111 @@ class Simulator:
         else:
             entry = _Deferred(fn)
         self._seq += 1
-        heapq.heappush(self._heap, (self.now, self._seq, entry))
+        self._now_bucket.append((self._seq, entry))
+
+    def add_flush_hook(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` once the cascade at the current instant drains.
+
+        The hook fires exactly once, after every already-scheduled entry
+        at the current simulated time has dispatched and before time
+        advances (or the run ends).  Subsystems that accumulate
+        same-timestamp work -- e.g. the switch batching flow arrivals into
+        one fair-share solve -- register a hook per instant instead of
+        recomputing per arrival.  Hooks may schedule new work at the
+        current instant and may re-register for later instants.
+        """
+        self._flush_hooks.append(fn)
+
+    def _run_flush_hooks(self) -> None:
+        hooks = self._flush_hooks
+        while hooks:
+            batch = hooks[:]
+            del hooks[: len(batch)]
+            for fn in batch:
+                fn()
 
     def _note_process_failure(self, process: Process, exc: BaseException) -> None:
         self._failed.append((process, exc))
 
     def step(self) -> None:
-        """Advance to and dispatch the next event."""
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self.now:
-            raise SimulationError("time went backwards")
-        self.now = when
+        """Advance to and dispatch the next scheduled entry.
+
+        Flush hooks are a :meth:`run`-loop notion; ``step`` dispatches
+        scheduled entries only and leaves boundary hooks to the caller.
+        """
+        bucket = self._now_bucket
+        heap = self._heap
+        if bucket and not (
+            heap and heap[0][0] <= self.now and heap[0][1] < bucket[0][0]
+        ):
+            event = bucket.popleft()[1]
+        else:
+            when, _seq, event = heapq.heappop(heap)
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            self.now = when
         event._dispatch()
-        if type(event) is _Deferred:
+        cls = type(event)
+        if cls is _Deferred:
             self._deferred_pool.append(event)
+        elif cls is _Sleep:
+            self._sleep_pool.append(event)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or simulated time reaches ``until``.
+        """Run until the schedule drains or simulated time reaches ``until``.
 
         Returns the final simulated time.  Raises the first unobserved
         process failure, and raises :class:`DeadlockError` if processes
-        remain blocked after the heap drains.
+        remain blocked after the schedule drains.
 
         The loop is the simulation's innermost hot path, so it inlines
-        :meth:`step` with the heap and pop bound locally and recycles
-        dispatched :class:`_Deferred` entries into the free list.
+        :meth:`step` with the heap, bucket and pops bound locally and
+        recycles dispatched :class:`_Deferred`/:class:`_Sleep` entries
+        into their free lists.  Bucket and heap are merged by sequence
+        number, reproducing single-heap (time, seq) order exactly.
         """
         from repro.errors import DeadlockError
 
         heap = self._heap
+        bucket = self._now_bucket
         pop = heapq.heappop
-        pool = self._deferred_pool
-        while heap:
-            when = heap[0][0]
-            if until is not None and when > until:
-                self.now = until
+        popleft = bucket.popleft
+        deferred_pool = self._deferred_pool
+        sleep_pool = self._sleep_pool
+        flush_hooks = self._flush_hooks
+        now = self.now
+        while True:
+            if bucket:
+                # Same instant: dispatch the older seq of bucket front vs
+                # heap top (heap entries at `now` predate later bucket
+                # appends iff their seq is smaller).
+                if heap and heap[0][0] <= now and heap[0][1] < bucket[0][0]:
+                    event = pop(heap)[2]
+                else:
+                    event = popleft()[1]
+            elif heap:
+                when = heap[0][0]
+                if when > now and flush_hooks:
+                    self._run_flush_hooks()
+                    continue
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                when, _seq, event = pop(heap)
+                if when < now:
+                    raise SimulationError("time went backwards")
+                now = self.now = when
+            elif flush_hooks:
+                self._run_flush_hooks()
+                continue
+            else:
                 break
-            when, _seq, event = pop(heap)
-            if when < self.now:
-                raise SimulationError("time went backwards")
-            self.now = when
             event._dispatch()
-            if type(event) is _Deferred:
-                pool.append(event)
+            cls = type(event)
+            if cls is _Deferred:
+                deferred_pool.append(event)
+            elif cls is _Sleep:
+                sleep_pool.append(event)
         self._raise_orphan_failures()
         if until is None and self._live_processes > 0 and not self._heap:
             raise DeadlockError(

@@ -116,6 +116,7 @@ class _Flow:
         "seq",
         "deadline",
         "finished",
+        "threshold",
     )
 
     def __init__(
@@ -142,11 +143,11 @@ class _Flow:
         self.seq = seq  # arrival order: canonical solve/tie-break order
         self.deadline = _INF  # latest pushed completion deadline
         self.finished = False
-
-    def _finish_threshold(self) -> float:
-        # A byte-fraction floor absorbs float residue; scale-relative for
-        # huge transfers so banking error cannot strand a flow.
-        return max(1e-6, self.total * 1e-12)
+        # Completion threshold: a byte-fraction floor absorbs float
+        # residue; scale-relative for huge transfers so banking error
+        # cannot strand a flow.  Precomputed -- it is consulted on every
+        # bank of every flow.
+        self.threshold = max(1e-6, self.total * 1e-12)
 
 
 class Switch:
@@ -165,6 +166,7 @@ class Switch:
         self.sim = sim
         self.name = name
         self.solver = solver
+        self._incremental = solver == "incremental"
         self._nics: Dict[str, Nic] = {}
         #: Global ordered set of active flows (arrival order).
         self._flows: Dict[_Flow, None] = {}
@@ -177,6 +179,10 @@ class Switch:
         #: Deadline the currently armed engine timer targets (inf = none).
         self._timer_deadline = _INF
         self._timer_version = 0
+        #: Ports touched by arrivals at the current instant, awaiting one
+        #: batched solve at the timestamp boundary (incremental only).
+        self._pending_dirty: Dict[_Port, None] = {}
+        self._flush_scheduled = False
         self.total_bytes = 0
         #: Concurrent flow count over time (metrics-registry snapshot).
         self.flows_gauge = TimeWeightedGauge(start_time=sim.now)
@@ -217,7 +223,7 @@ class Switch:
         src.stats.flows_started += 1
         if nbytes == 0:
             start = self.sim.now
-            latency_done = self.sim.timeout(self.BASE_LATENCY)
+            latency_done = self.sim.sleep(self.BASE_LATENCY)
 
             def _deliver_empty(_ev: Event) -> None:
                 # A zero-byte flow still completes: close the
@@ -240,8 +246,33 @@ class Switch:
         trace = self.sim.trace
         if trace.enabled:
             trace.count("net", "active_flows", self.sim.now, len(self._flows))
-        self._update([src_port, dst_port])
+        if self._incremental:
+            # Batch same-instant arrivals into one boundary solve: a
+            # recovery wave starting k flows at once costs one component
+            # re-solve instead of k.  Exact, because a flow banked at the
+            # instant it arrived has moved zero bytes either way and the
+            # final same-instant rates are what every flow's deadline is
+            # computed from.  The reference solver keeps the per-arrival
+            # re-solve, preserving the oracle's historical behavior.
+            pending = self._pending_dirty
+            pending[src_port] = None
+            pending[dst_port] = None
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self.sim.add_flush_hook(self._flush_pending)
+        else:
+            self._update([src_port, dst_port])
         return done
+
+    def _flush_pending(self) -> None:
+        """Solve the arrivals accumulated at the current instant."""
+        self._flush_scheduled = False
+        pending = self._pending_dirty
+        if not pending:
+            return
+        dirty = list(pending)
+        pending.clear()
+        self._update(dirty)
 
     def set_nic_rates(
         self,
@@ -261,6 +292,9 @@ class Switch:
             rx_rate is not None and rx_rate <= 0
         ):
             raise ValueError("NIC rate must be positive")
+        # Arrivals queued at this instant must be solved at the old
+        # capacities first, exactly as the per-arrival path would have.
+        self._flush_pending()
         dirty: List[_Port] = []
         if tx_rate is not None:
             nic.tx_rate = tx_rate
@@ -303,8 +337,10 @@ class Switch:
         # Phase 3: re-solve and re-rate the survivors.
         self._solve(candidates, now)
         # Deliver completions only after the allocator ran on clean state.
-        for flow in finished:
-            self._deliver(flow)
+        if finished:
+            delivery = self.sim.sleep(self.BASE_LATENCY)
+            for flow in finished:
+                self._deliver(flow, delivery)
         self._arm_timer(now)
 
     def _component(self, dirty_ports: List[_Port]) -> List[_Flow]:
@@ -314,7 +350,15 @@ class Switch:
         traversal order deterministic; the result is sorted by flow
         arrival order so the solve's tie-breaking matches the reference
         solver's global iteration.
+
+        Recovery traffic is overwhelmingly star-shaped (many sources
+        converging on one rebuilding node), so a hub-check shortcut
+        replaces the BFS + sort with one pass over the hub's registry,
+        which is already in arrival order.
         """
+        hub = self._star_hub(dirty_ports)
+        if hub is not None:
+            return list(hub.flows)
         seen_ports: Dict[_Port, None] = dict.fromkeys(dirty_ports)
         flows: Dict[_Flow, None] = {}
         stack = list(dirty_ports)
@@ -328,6 +372,42 @@ class Switch:
                             seen_ports[other] = None
                             stack.append(other)
         return sorted(flows, key=lambda flow: flow.seq)
+
+    @staticmethod
+    def _star_hub(dirty_ports: List[_Port]) -> Optional[_Port]:
+        """The single hub port if the dirty component is a star, else None.
+
+        A *star* is a component whose every flow touches one shared hub
+        port while each spoke port carries exactly one flow.  The hub's
+        flow registry then IS the component, in arrival order (each flow
+        was appended to it at creation), so callers can skip the BFS and
+        the sort.  Returns None whenever the shape is anything else --
+        correctness never depends on this detecting a star.
+        """
+        hub: Optional[_Port] = None
+        for port in dirty_ports:
+            count = len(port.flows)
+            if count == 0:
+                continue
+            if count == 1:
+                # A spoke: its only flow's other endpoint is the hub
+                # candidate (possibly another lone spoke -- the
+                # verification pass below still holds for a 1-flow pair).
+                (flow,) = port.flows
+                candidate = flow.dst_port if flow.src_port is port else flow.src_port
+            else:
+                candidate = port
+            if hub is None:
+                hub = candidate
+            elif hub is not candidate:
+                return None
+        if hub is None:
+            return None
+        for flow in hub.flows:
+            other = flow.dst_port if flow.src_port is hub else flow.src_port
+            if other is not hub and len(other.flows) != 1:
+                return None
+        return hub
 
     def _bank(self, flows: List[_Flow], now: float) -> List[_Flow]:
         """Credit ``flows`` with bytes moved at their current rate.
@@ -344,7 +424,7 @@ class Switch:
                     moved = flow.remaining
                 flow.remaining -= moved
             flow.last_update = now
-            if flow.remaining <= flow._finish_threshold():
+            if flow.remaining <= flow.threshold:
                 finished.append(flow)
         return finished
 
@@ -356,8 +436,16 @@ class Switch:
         del flow.dst_port.flows[flow]
         self.flows_gauge.adjust(-1.0, self.sim.now)
 
-    def _deliver(self, flow: _Flow) -> None:
-        """Account a finished flow and schedule its completion delivery."""
+    def _deliver(self, flow: _Flow, delivery: Event) -> None:
+        """Account a finished flow and schedule its completion delivery.
+
+        ``delivery`` is one base-latency sleep shared by every flow that
+        finished in the same wave: callbacks fire in attach order, which
+        is the order per-flow sleeps would have dispatched in (their seqs
+        would have been consecutive), so completion delivery order is
+        unchanged.  The base latency keeps even an infinitely-fast link's
+        transfer time nonzero.
+        """
         flow.src.stats.bytes_sent += flow.total
         flow.dst.stats.bytes_received += flow.total
         flow.src.stats.flows_finished += 1
@@ -370,10 +458,9 @@ class Switch:
             )
             trace.count("net", "active_flows", self.sim.now, len(self._flows))
         duration = self.sim.now - flow.started_at + self.BASE_LATENCY
-        # Deliver completion after the base latency so even an
-        # infinitely-fast link has nonzero transfer time.
-        delivery = self.sim.timeout(self.BASE_LATENCY)
-        delivery.add_callback(lambda _ev: flow.done.succeed(duration))
+        delivery.add_callback(
+            lambda _ev, done=flow.done, value=duration: done.succeed(value)
+        )
 
     def _solve(self, flows: List[_Flow], now: float) -> None:
         """Progressive filling restricted to ``flows``; re-rate changes.
@@ -400,6 +487,28 @@ class Switch:
                     load[port] = 1
                 else:
                     load[port] += 1
+        # One-round fast path: if some port carries *every* flow and its
+        # fair share is strictly the smallest on offer, progressive
+        # filling freezes all flows in the first round at that share.
+        # Strict dominance matters: on a tie the generic loop's min()
+        # picks a different bottleneck first, changing the deadline-push
+        # order, so ties fall through to the exact iteration.
+        count = len(flows)
+        if count > 1:
+            hub: Optional[_Port] = None
+            for port, port_load in load.items():
+                if port_load == count:
+                    hub = port
+                    break
+            if hub is not None:
+                share = max(remaining_cap[hub], 0.0) / count
+                for port, port_load in load.items():
+                    if port is not hub and remaining_cap[port] / port_load <= share:
+                        break
+                else:
+                    for flow in flows:
+                        self._set_rate(flow, share, now)
+                    return
         unfrozen: Dict[_Flow, None] = dict.fromkeys(flows)
         while unfrozen:
             # The bottleneck port is the one offering the smallest fair
@@ -457,7 +566,9 @@ class Switch:
             heap[:] = live
             heapq.heapify(heap)
         if not heap:
-            if self._flows:
+            # Arrivals awaiting their boundary solve have no rate yet;
+            # the pending flush will arm the timer when it rates them.
+            if self._flows and not self._pending_dirty:
                 raise SimulationError("active flows but no positive rates")
             return
         top = heap[0][0]
@@ -468,7 +579,7 @@ class Switch:
         version = self._timer_version
         # Floor the delay at a nanosecond so floating-point residue can
         # never re-arm the timer at the current instant forever.
-        timer = self.sim.timeout(max(top - now, 1e-9))
+        timer = self.sim.sleep(max(top - now, 1e-9))
         timer.add_callback(lambda _ev: self._on_timer(version))
 
     def _on_timer(self, version: int) -> None:
@@ -491,15 +602,17 @@ class Switch:
         # threshold (float residue) gets a refreshed deadline.
         finished = self._bank(due, now)
         for flow in due:
-            if flow.remaining > flow._finish_threshold():
+            if flow.remaining > flow.threshold:
                 deadline = now + max(flow.remaining / flow.rate, 1e-9)
                 flow.deadline = deadline
                 self._push_seq += 1
                 heapq.heappush(heap, (deadline, self._push_seq, flow))
         for flow in finished:
             self._retire(flow)
-        for flow in finished:
-            self._deliver(flow)
+        if finished:
+            delivery = self.sim.sleep(self.BASE_LATENCY)
+            for flow in finished:
+                self._deliver(flow, delivery)
         # Departures free bandwidth: re-solve the components the finished
         # flows' ports belong to (everything, in reference mode).
         dirty: Dict[_Port, None] = {}
@@ -527,6 +640,10 @@ class Switch:
         so two switches driven through identical histories are directly
         comparable even though the incremental solver banks lazily.
         """
+        # Arrivals queued at this instant have no rates yet; solve them
+        # before reporting so mid-instant introspection matches the
+        # per-arrival solver's view.
+        self._flush_pending()
         now = self.sim.now
         rows = []
         for flow in self._flows:

@@ -1,0 +1,199 @@
+"""Warm-start snapshots of quiescent simulated clusters.
+
+Sweep-style experiments (``table2``, ``ext-scale``) re-simulate an
+identical failure-free warmup -- cluster assembly, data ingest, journal
+flush -- before the part of the run that actually differs.  This module
+captures that common prefix once and hands every subsequent task a fresh
+restored copy, so repeated sweep points pay for the warmup once per
+(parameters, code version) instead of once per task.
+
+Correctness model
+-----------------
+- :func:`capture` pickles the whole cluster facade.  The
+  :class:`~repro.sim.engine.Simulator` refuses to pickle unless
+  *quiescent* (empty schedule, no live process, no pending failure), so
+  a snapshot can only be taken between runs -- exactly the warm-start
+  boundary.  Everything else in the object graph (disks, switch, layout,
+  RNGs, payload factory) is plain picklable state.
+- :func:`restore` unpickles a brand-new object graph on every call.
+  Restored clusters share nothing, so tasks cannot contaminate each
+  other through a cached object.
+- :meth:`SnapshotStore.get_or_build` returns a *restored* copy even on
+  the first, cold build: every consumer sees a cluster that went through
+  the same capture/restore round-trip, so the first task is structurally
+  identical to the hundredth.
+- Snapshot keys embed :func:`code_fingerprint` -- a digest over the
+  ``repro`` package sources -- so a snapshot written by different code
+  is unreachable, not merely unlikely to be reused.  Staleness is a key
+  miss, never a wrong restore.
+
+The default store is in-memory and per-process; ``fork``-context pool
+workers inherit the parent's store for free.  Setting
+``RAIDP_SNAPSHOT_DIR`` spills snapshots to disk so spawn-context workers
+and repeated CLI invocations can share them.
+
+When a span tracer is active the store is bypassed and builders run
+cold: the warmup's spans belong in the trace, and restored simulators
+would register fresh trace runs mid-experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.obs.tracer import active_tracer
+
+#: Optional on-disk spill directory (shared across processes/invocations).
+SNAPSHOT_DIR_ENV = "RAIDP_SNAPSHOT_DIR"
+
+#: Set to ``0``/``false``/``no`` to force cold builds everywhere (used by
+#: the cold-vs-warm differential tests and ``bench --before/--after``).
+WARM_START_ENV = "RAIDP_WARM_START"
+
+_code_digest: Optional[str] = None
+
+
+def warm_start_enabled() -> bool:
+    """True unless ``RAIDP_WARM_START`` disables the snapshot store."""
+    return os.environ.get(WARM_START_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
+def code_fingerprint() -> str:
+    """Digest over every ``repro`` source file, cached per process.
+
+    Walks the package directory rather than inspecting loaded modules so
+    the fingerprint covers code a snapshot *could* touch on restore, not
+    just what happens to be imported at capture time.
+    """
+    global _code_digest
+    if _code_digest is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        hasher = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                hasher.update(os.path.relpath(path, root).encode("utf-8"))
+                with open(path, "rb") as handle:  # raidp: noqa[RDP003] -- hashes host sources between runs, not in a sim process
+                    hasher.update(handle.read())
+        _code_digest = hasher.hexdigest()[:16]
+    return _code_digest
+
+
+def snapshot_key(tag: str, **params: Any) -> str:
+    """Canonical store key: tag, sorted parameters, code fingerprint."""
+    inner = ",".join(f"{name}={params[name]!r}" for name in sorted(params))
+    return f"{tag}({inner})@{code_fingerprint()}"
+
+
+def capture(obj: Any) -> bytes:
+    """Pickle a quiescent cluster (or any picklable object graph).
+
+    Raises :class:`~repro.errors.SimulationError` via the simulator's
+    ``__getstate__`` if the object graph contains a non-quiescent
+    simulator.
+    """
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore(blob: bytes) -> Any:
+    """Unpickle a snapshot into a brand-new, unshared object graph."""
+    return pickle.loads(blob)
+
+
+class SnapshotStore:
+    """A keyed snapshot cache: in-memory, optionally spilled to disk."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._memory: Dict[str, bytes] = {}
+        self._directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _spill_dir(self) -> Optional[str]:
+        if self._directory is not None:
+            return self._directory
+        env = os.environ.get(SNAPSHOT_DIR_ENV, "").strip()
+        return env or None
+
+    def _spill_path(self, key: str) -> Optional[str]:
+        directory = self._spill_dir()
+        if directory is None:
+            return None
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(directory, f"{digest}.snap")
+
+    def get(self, key: str) -> Optional[bytes]:
+        blob = self._memory.get(key)
+        if blob is not None:
+            return blob
+        path = self._spill_path(key)
+        if path is not None and os.path.exists(path):
+            with open(path, "rb") as handle:  # raidp: noqa[RDP003] -- spill-store read between simulations, not in a sim process
+                blob = handle.read()
+            self._memory[key] = blob
+            return blob
+        return None
+
+    def put(self, key: str, blob: bytes) -> None:
+        self._memory[key] = blob
+        path = self._spill_path(key)
+        if path is not None:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            # Atomic publish: spawn-context siblings may race on the same
+            # key, and both write identical bytes (same code, same key).
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:  # raidp: noqa[RDP003] -- spill-store write between simulations, not in a sim process
+                handle.write(blob)
+            os.replace(tmp, path)
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """Return a restored copy of the snapshot under ``key``.
+
+        On a miss, runs ``builder``, captures the result, stores it, and
+        still returns a restored copy -- cold and warm callers always
+        receive a cluster with an identical capture/restore history.
+        """
+        if not warm_start_enabled() or active_tracer().enabled:
+            return builder()
+        blob = self.get(key)
+        if blob is None:
+            self.misses += 1
+            blob = capture(builder())
+            self.put(key, blob)
+        else:
+            self.hits += 1
+        return restore(blob)
+
+
+#: Process-wide store used by the experiment builders.
+GLOBAL_STORE = SnapshotStore()
+
+
+def checked_restore(blob: bytes, expected_type: type) -> Any:
+    """Restore a snapshot and verify its facade type.
+
+    Used by the cluster-level ``from_snapshot`` hooks so a blob captured
+    from the wrong cluster class fails loudly instead of half-working.
+    """
+    obj = restore(blob)
+    if not isinstance(obj, expected_type):
+        raise SimulationError(
+            f"snapshot holds {type(obj).__name__}, expected {expected_type.__name__}"
+        )
+    return obj
