@@ -4,7 +4,7 @@ PYTHON     ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint typecheck bench bench-kernels bench-check chaos verify experiments clean
+.PHONY: test lint typecheck bench bench-kernels bench-check chaos verify experiments durability-smoke clean
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -47,6 +47,12 @@ chaos:
 # diff in review.
 verify: lint typecheck test chaos
 	$(PYTHON) -m repro.tools.bench --compare-jobs 1,4
+
+# Small-fleet durability smoke: the §2 experiment end-to-end -- analytic
+# ladder, legacy small-fleet simulator, and the long-horizon Monte-Carlo
+# engine (1k disks x 10 years) -- at smoke scale.
+durability-smoke:
+	$(PYTHON) -m repro.experiments ext-durability
 
 # Regenerate every table/figure of the paper (uses all cores).
 experiments:

@@ -8,20 +8,38 @@
   quantitative mini-models instead of hand-waving.
 - :mod:`repro.analysis.cost` -- the Section 4 feasibility and TCO study
   (Lstor bill of materials, derived disk costs, Fig. 7 breakdown).
+- :mod:`repro.analysis.durability` -- analytic MTTDL ladder and the
+  legacy small-fleet failure simulator (paper §2).
+- :mod:`repro.analysis.montecarlo` -- the long-horizon fleet durability
+  engine (Weibull lifetimes, latent sector errors, correlated bursts).
 """
 
 from repro.analysis.cost import DatacenterCostModel, LstorBom, ServerExample
 from repro.analysis.design_space import DesignPoint, design_space_points
+from repro.analysis.montecarlo import (
+    DurabilityEngine,
+    Fleet,
+    Scheme,
+    SchemeReport,
+    analytic_mc_mttdl,
+    default_schemes,
+)
 from repro.analysis.properties import Rating, property_matrix
 from repro.analysis.repair_traffic import RepairTraffic, repair_traffic
 
 __all__ = [
     "DatacenterCostModel",
     "DesignPoint",
+    "DurabilityEngine",
+    "Fleet",
     "LstorBom",
     "Rating",
     "RepairTraffic",
+    "Scheme",
+    "SchemeReport",
     "ServerExample",
+    "analytic_mc_mttdl",
+    "default_schemes",
     "design_space_points",
     "property_matrix",
     "repair_traffic",

@@ -204,46 +204,113 @@ class FailureSimulator:
         ``tolerance``: how many of the holders may be *permanently* dead
         at once before data is gone (rebuilds restore one per window).
         ``needed_online``: how many holders must be simultaneously online
-        for the datum to be readable.  ``local_parity_racks``: racks
-        whose outage also disables the corresponding holder's parity
-        assist (RAIDP's co-located Lstor).
+        for the datum to be readable.  ``local_parity_racks``: the rack
+        of each holder's co-located parity device (RAIDP's Lstor),
+        aligned with ``holders``; empty for schemes without one.
+
+        The co-located parity carries the paper's §2 caveat: while its
+        rack is dark the assist is disabled -- the tolerance it provides
+        does not count at that instant, and a parity-path rebuild (one
+        running while another holder is already dead) stalls for the
+        duration of the overlap.  An outage never *destroys* the parity,
+        so the caveat costs availability, not durability, unless a
+        further failure lands inside the widened window.
         """
         spec = self.spec
+        horizon = spec.years * HOURS_PER_YEAR
         holders = list(holders)
+        parity_racks = list(local_parity_racks)
+        outages = [
+            (start, min(start + spec.rack_outage_hours, horizon), rack)
+            for start, rack in rack_outages
+        ]
+
+        def rack_dark(rack: int, time: float) -> bool:
+            return any(s <= time < e for s, e, r in outages if r == rack)
+
+        def dark_overlap(rack: int, start: float, end: float) -> float:
+            """Hours of [start, end) during which ``rack`` is dark."""
+            total = 0.0
+            for s, e, r in outages:
+                if r == rack:
+                    total += max(0.0, min(end, e) - max(start, s))
+            return total
+
+        # -- durability: permanent failures vs (possibly darkened) assist
         dead_until: Dict[int, float] = {}
+        dead_intervals: Dict[int, List[Tuple[float, float]]] = {
+            holder: [] for holder in holders
+        }
         data_lost = False
-        # Permanent failures: a holder dies; a rebuild brings a fresh
-        # copy after rebuild_hours unless redundancy was already gone.
+        loss_time = horizon
         for time, disk in disk_failures:
             if disk not in holders:
                 continue
-            # Expire finished rebuilds.
-            overlapping = [d for d, until in dead_until.items() if until > time]
-            if len(overlapping) + 1 > tolerance:
-                data_lost = True
-                break
-            dead_until[disk] = time + spec.rebuild_hours
-        # Availability: during any rack outage, holders in that rack are
-        # offline; count how many remain online.
-        ever_unavailable = False
-        for time, rack in rack_outages:
-            online = 0
-            for holder in holders:
-                holder_offline = self._rack_of(holder) == rack or (
-                    holder in dead_until
-                    and time < dead_until[holder]
+            overlapping = [
+                d for d, until in dead_until.items() if until > time and d != disk
+            ]
+            effective = tolerance
+            if parity_racks:
+                # Assists whose racks are dark right now cannot cover
+                # this failure; plain replication tolerance remains.
+                dark_assists = sum(
+                    1 for rack in parity_racks if rack_dark(rack, time)
                 )
-                if not holder_offline:
-                    online += 1
-            # A co-located parity cannot assist while its rack is dark,
-            # but it cannot be destroyed by the outage either.
-            if online < needed_online:
-                ever_unavailable = True
+                effective = max(len(holders) - 1, tolerance - dark_assists)
+            if len(overlapping) + 1 > effective:
+                data_lost = True
+                loss_time = time
+                break
+            until = time + spec.rebuild_hours
+            if parity_racks and overlapping:
+                # Parity-path rebuild (another holder already dead):
+                # stalls while the co-located Lstor's rack is dark.
+                parity_rack = parity_racks[holders.index(disk)]
+                until += dark_overlap(parity_rack, time, until)
+            dead_until[disk] = until
+            dead_intervals[disk].append((time, min(until, horizon)))
+
+        # -- availability: sweep every offline interval, not just outage
+        # starts.  A holder is offline while its rack is dark or while
+        # its rebuild window runs -- including instants *between* rack
+        # outages.  After a data loss the datum has no availability to
+        # score, so the sweep stops at loss_time (this also keeps the
+        # partially-populated post-break dead_until out of the verdict).
+        offline: List[Tuple[float, float, int]] = []
+        for index, holder in enumerate(holders):
+            rack = self._rack_of(holder)
+            for s, e, r in outages:
+                if r == rack and s < loss_time:
+                    offline.append((s, min(e, loss_time), index))
+            for s, e in dead_intervals[holder]:
+                if s < loss_time:
+                    offline.append((s, min(e, loss_time), index))
+        ever_unavailable = False
+        if offline:
+            boundaries = sorted({s for s, _e, _h in offline})
+            max_offline = len(holders) - needed_online
+            for point in boundaries:
+                count = len(
+                    {h for s, e, h in offline if s <= point < e}
+                )
+                if count > max_offline:
+                    ever_unavailable = True
+                    break
         return data_lost, ever_unavailable
 
     # -- the experiment ----------------------------------------------------
     def run(self, trials: int = 2000, ec_width: int = 6) -> Dict[str, SchemeOutcome]:
         """Simulate all four schemes over shared event streams."""
+        if self.spec.num_racks < 4:
+            raise ValueError(
+                f"an n+2 stripe needs at least 4 racks (n >= 2); the fleet "
+                f"has {self.spec.num_racks}"
+            )
+        # The stripe is clipped to the rack count; its strength must be
+        # derived from the *actual* placement width, not the requested
+        # one -- a clipped stripe has fewer data disks, not more parity.
+        ec_placed = min(ec_width + 2, self.spec.num_racks)
+        ec_data = ec_placed - 2
         outcomes = {
             name: SchemeOutcome(name=name)
             for name in ("rep2", "rep3", "raidp", f"ec({ec_width}+2)")
@@ -262,9 +329,9 @@ class FailureSimulator:
                     [self._rack_of(h) for h in holders],
                 ),
                 f"ec({ec_width}+2)": (
-                    self._distinct_rack_disks(min(ec_width + 2, self.spec.num_racks)),
+                    self._distinct_rack_disks(ec_placed),
                     2,
-                    ec_width,
+                    ec_data,
                     [],
                 ),
             }

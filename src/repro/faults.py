@@ -41,12 +41,17 @@ names for node/NIC faults; for single-disk servers the two coincide.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field, replace
 from typing import Generator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ReproError
 from repro.sim.engine import Process
+
+HOURS_PER_YEAR = 24 * 365.0
 
 FAULT_KINDS = (
     "disk_fail",
@@ -378,3 +383,179 @@ def chaos_schedule(
             )
         )
     return FaultSchedule(tuple(faults))
+
+
+# ----------------------------------------------------------------------
+# Shared failure-model parameters.
+#
+# Both halves of the failure story consume these: the in-simulator fault
+# injector above (seconds-scale chaos under live traffic) and the
+# long-horizon durability engine (:mod:`repro.analysis.montecarlo`,
+# years-scale fleet statistics).  Keeping the parameter vocabulary in one
+# place means an experiment that stresses "AFR 4%, 2-week scrub cadence,
+# correlated rack bursts" names the same quantities in both worlds.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiskLifetimeModel:
+    """Permanent disk failures: Weibull lifetimes pinned to a target AFR.
+
+    ``weibull_shape == 1.0`` is the exponential (constant-hazard) special
+    case; ``< 1`` models infant mortality, ``> 1`` wear-out -- the three
+    regimes the disk-population literature (Pinheiro et al., Schroeder &
+    Gibson) fits field traces with.  Rather than expose the unintuitive
+    Weibull scale directly, the scale is derived so the probability that
+    a fresh disk fails within its first year equals ``afr`` for *any*
+    shape, so sweeping the shape changes failure clustering over a
+    disk's life without changing the headline failure rate.
+    """
+
+    #: Annualized failure rate of a fresh disk (fraction in [0, 1)).
+    afr: float = 0.02
+    #: Weibull shape parameter (1.0 = memoryless/exponential).
+    weibull_shape: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.afr < 1.0:
+            raise FaultError(f"afr must be in (0, 1), got {self.afr}")
+        if self.weibull_shape <= 0.0:
+            raise FaultError("weibull_shape must be positive")
+
+    @property
+    def scale_hours(self) -> float:
+        """Weibull scale such that P(lifetime < 1 year) == afr."""
+        return HOURS_PER_YEAR / (-math.log(1.0 - self.afr)) ** (
+            1.0 / self.weibull_shape
+        )
+
+    @property
+    def mttf_hours(self) -> float:
+        """Mean lifetime in hours (Weibull mean = scale * Gamma(1+1/k))."""
+        return self.scale_hours * math.gamma(1.0 + 1.0 / self.weibull_shape)
+
+    def sample_lifetimes(
+        self, rng: "np.random.Generator", count: int
+    ) -> "np.ndarray":
+        """``count`` independent lifetimes (hours) from the model."""
+        if self.weibull_shape == 1.0:
+            return rng.exponential(self.scale_hours, size=count)
+        return self.scale_hours * rng.weibull(self.weibull_shape, size=count)
+
+
+@dataclass(frozen=True)
+class LatentErrorModel:
+    """Latent sector errors interacting with a periodic scrubber.
+
+    Errors develop silently at ``rate_per_disk_year`` and are detected
+    and repaired by the scrub pass that next reads them (the
+    :class:`repro.core.scrubber.Scrubber` cadence).  What durability
+    cares about is the probability that a *rebuild* read -- issued at an
+    effectively uniform point inside a scrub interval -- hits an error
+    the scrubber has not cleaned yet: the classic rep-2 "second copy has
+    a bad sector" loss path.
+    """
+
+    #: Rate at which a disk develops undetected sector errors (per year).
+    rate_per_disk_year: float = 0.3
+    #: Scrub cycle length: every block is re-read and verified this often.
+    scrub_interval_hours: float = 14 * 24.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_disk_year < 0:
+            raise FaultError("latent error rate must be non-negative")
+        if self.scrub_interval_hours <= 0:
+            raise FaultError("scrub interval must be positive")
+
+    def disk_read_error_probability(self) -> float:
+        """P(>= 1 undetected latent error present when a disk is read).
+
+        The read lands uniformly inside a scrub interval of length T, so
+        the exposure age u ~ U[0, T) and presence is 1 - exp(-r u);
+        averaging over u gives ``1 - (1 - exp(-rT)) / (rT)``.
+        """
+        rt = self.rate_per_disk_year / HOURS_PER_YEAR * self.scrub_interval_hours
+        if rt <= 0.0:
+            return 0.0
+        return 1.0 - (1.0 - math.exp(-rt)) / rt
+
+    def block_read_error_probability(self, block_fraction: float) -> float:
+        """P(a specific block's rebuild read hits a latent error).
+
+        ``block_fraction`` is the block's share of the disk's data; each
+        latent error is assumed to corrupt one block, so the expected
+        number of errors on the block is (mean errors present) x
+        (block share), and presence follows the Poisson complement.
+        The mean errors present under periodic scrubbing is r*T/2
+        (uniform exposure age over the interval).
+        """
+        mean_present = (
+            self.rate_per_disk_year
+            / HOURS_PER_YEAR
+            * self.scrub_interval_hours
+            / 2.0
+        )
+        return -math.expm1(-mean_present * block_fraction)
+
+
+@dataclass(frozen=True)
+class CorrelatedFailureModel:
+    """Rack-correlated events: transient outages and failure bursts.
+
+    Outages hide a rack (power/switch loss -- nothing is destroyed; the
+    paper's s2 availability concession).  Bursts *destroy*: a shared
+    PDU surge or bad firmware batch permanently fails each disk in the
+    struck rack independently with ``burst_kill_probability`` -- and any
+    co-located parity device (RAIDP's Lstor) with it, which is exactly
+    the correlated path that separates intra-rack from cross-rack
+    redundancy placements.
+    """
+
+    #: Transient whole-rack outages per rack per year.
+    rack_outage_rate_per_year: float = 0.25
+    #: Hours until an outaged rack returns.
+    rack_outage_hours: float = 4.0
+    #: Correlated destructive bursts per rack per year.
+    burst_rate_per_rack_year: float = 0.02
+    #: P(each disk/Lstor in the struck rack dies in the burst).
+    burst_kill_probability: float = 0.08
+
+    def __post_init__(self) -> None:
+        if min(self.rack_outage_rate_per_year, self.burst_rate_per_rack_year) < 0:
+            raise FaultError("correlated failure rates must be non-negative")
+        if self.rack_outage_hours <= 0:
+            raise FaultError("rack outage duration must be positive")
+        if not 0.0 <= self.burst_kill_probability <= 1.0:
+            raise FaultError("burst kill probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class RepairModel:
+    """How fast and how eagerly the fleet repairs permanent losses.
+
+    ``lazy_threshold``/``lazy_max_wait_hours`` implement lazy recovery:
+    rebuilds are deferred until enough disks are pending to batch (or a
+    deadline passes), trading a longer blocks-at-risk exposure for fewer
+    spurious rebuilds of transiently-absent disks.  The concurrency cap
+    models the fleet's shared repair bandwidth: when more disks are dead
+    than ``concurrent_rebuilds``, completions queue behind it.
+    """
+
+    #: Hours from failure to the monitor declaring the disk dead.
+    detection_hours: float = 0.25
+    #: Hours to re-replicate one disk at full repair bandwidth.
+    disk_rebuild_hours: float = 12.0
+    #: Fleet-wide simultaneous rebuild slots (repair-bandwidth cap).
+    concurrent_rebuilds: int = 8
+    #: Pending-disk count that triggers a (lazy) rebuild batch.
+    lazy_threshold: int = 1
+    #: Ceiling on lazy deferral for a pending disk.
+    lazy_max_wait_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.detection_hours < 0 or self.lazy_max_wait_hours < 0:
+            raise FaultError("repair delays must be non-negative")
+        if self.disk_rebuild_hours <= 0:
+            raise FaultError("disk_rebuild_hours must be positive")
+        if self.concurrent_rebuilds < 1:
+            raise FaultError("need at least one rebuild slot")
+        if self.lazy_threshold < 1:
+            raise FaultError("lazy_threshold must be >= 1")

@@ -35,6 +35,10 @@ CATEGORIES: Dict[str, str] = {
     "emitted by faults.py.",
     "journal": "Journal occupancy counter samples, emitted by core/journal.py.",
     "bench": "Synthetic spans emitted by the perf harness (tools/bench.py).",
+    "durability": "Long-horizon durability-engine events (loss-risk "
+    "instants, per-trial spans), emitted by analysis/montecarlo.py.",
+    "fleet": "Fleet-level state samples (dead-disk counters, merged "
+    "rack-outage segments), emitted by analysis/montecarlo.py.",
 }
 
 

@@ -292,6 +292,30 @@ def bench_lint(repeats: int = 3) -> Dict[str, float]:
     return {"lint_files_per_sec": best}
 
 
+def bench_durability(trials: int = 12) -> Dict[str, float]:
+    """Fleet durability-engine throughput (Monte-Carlo trials/second).
+
+    Times the epoch-batch engine on the ext-durability smoke fleet
+    (1k disks x 10 simulated years, all five schemes on shared event
+    streams).  The ISSUE-7 acceptance bound -- 10k disks x 10 years x
+    200 trials in under 60 s -- rides on this rate staying healthy:
+    the full-scale run is ~10x the per-trial event count, so a floor
+    here keeps the headline run inside its budget with margin.
+    """
+    from repro.analysis.montecarlo import DurabilityEngine, Fleet
+
+    engine = DurabilityEngine(
+        fleet=Fleet(num_racks=20, disks_per_rack=50, groups=100_000),
+        seed=3,
+    )
+    start = time.perf_counter()
+    engine.run(trials, years=10.0)
+    elapsed = time.perf_counter() - start
+    return {
+        "durability_trials_per_sec": trials / elapsed if elapsed else float("inf"),
+    }
+
+
 def bench_kernels() -> Dict[str, float]:
     kernels: Dict[str, float] = {}
     # Collect between kernels so each one starts from a small heap:
@@ -306,6 +330,7 @@ def bench_kernels() -> Dict[str, float]:
         bench_table2_rows,
         bench_snapshot_restore,
         bench_lint,
+        bench_durability,
     ):
         gc.collect()
         kernels.update(bench())
