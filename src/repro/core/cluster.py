@@ -29,9 +29,10 @@ from repro.sim.cluster import Cluster, ClusterSpec
 from repro.sim.engine import Simulator
 from repro.sim.network import Switch
 from repro.storage.payload import ContentFactory, Payload
+from repro.sim.snapshot import InlineState
 
 
-class RaidpCluster:
+class RaidpCluster(InlineState):
     """A ready-to-run RAIDP deployment over the simulated cluster."""
 
     def __init__(

@@ -27,6 +27,7 @@ from repro.errors import JournalError
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.stats import TimeWeightedGauge
 from repro.storage.payload import Payload
+from repro.sim.snapshot import InlineState
 
 
 class RecordState(enum.Enum):
@@ -38,7 +39,7 @@ class RecordState(enum.Enum):
 
 
 @dataclass
-class JournalRecord:
+class JournalRecord(InlineState):
     """One write's worth of recovery information."""
 
     record_id: int
@@ -70,7 +71,7 @@ class JournalRecord:
         return self.nbytes
 
 
-class Journal:
+class Journal(InlineState):
     """Bounded append-only journal with explicit state transitions."""
 
     def __init__(

@@ -27,10 +27,11 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro import units
 from repro.errors import CapacityError, LayoutError
+from repro.sim.snapshot import InlineState
 
 
 @dataclass(frozen=True)
-class LayoutSpec:
+class LayoutSpec(InlineState):
     """Geometry shared by every disk participating in a layout."""
 
     superchunk_size: int = 6 * units.GiB  # the paper's evaluation size
@@ -49,7 +50,7 @@ class LayoutSpec:
 
 
 @dataclass(frozen=True)
-class Superchunk:
+class Superchunk(InlineState):
     """One mirrored pair: the same content lives on two disks."""
 
     sc_id: int
@@ -77,7 +78,7 @@ class Superchunk:
         raise LayoutError(f"superchunk {self.sc_id} is not on disk {disk}")
 
 
-class Layout:
+class Layout(InlineState):
     """Incremental superchunk layout with invariant enforcement.
 
     ``domains`` optionally maps each disk to a failure domain (a server,

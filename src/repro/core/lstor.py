@@ -38,9 +38,10 @@ from repro.storage.payload import (
     Payload,
     XorAccumulator,
 )
+from repro.sim.snapshot import InlineState
 
 
-class Lstor:
+class Lstor(InlineState):
     """One parity device: an XOR region plus a journal."""
 
     def __init__(
@@ -165,7 +166,7 @@ class Lstor:
         return {slot: self.parity_block(slot) for slot in slots}
 
 
-class LstorStack:
+class LstorStack(InlineState):
     """``k`` Lstors on one disk: Reed-Solomon parities over superchunks.
 
     Lstor ``i`` in the stack stores parity row ``i`` of an RS code whose

@@ -36,13 +36,14 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.network import Switch
 from repro.sim.node import Node
 from repro.storage.payload import ContentFactory, Payload
+from repro.sim.snapshot import InlineState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hdfs.namenode import NameNode
 
 
 @dataclass(frozen=True)
-class RaidpConfig:
+class RaidpConfig(InlineState):
     """Feature switches and device parameters of the RAIDP variant.
 
     The Fig. 8 ablation toggles ``enable_parity`` ("+lstor") and

@@ -19,12 +19,13 @@ from repro.core.layout import Layout, LayoutSpec
 from repro.errors import CapacityError, PlacementError
 from repro.hdfs.block import Block, BlockLocations
 from repro.hdfs.namenode import PlacementPolicy, healthy_datanode
+from repro.sim.snapshot import InlineState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hdfs.datanode import DataNode
 
 
-class SuperchunkMap:
+class SuperchunkMap(InlineState):
     """Slot occupancy of every superchunk in the layout."""
 
     def __init__(self, layout: Layout) -> None:

@@ -13,13 +13,13 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     DEFAULT_SEEDS,
-    build_hdfs,
-    build_raidp,
+    build_hdfs_written,
+    build_raidp_written,
     pick_scale,
 )
 from repro.experiments.parallel import fan_out
 from repro.experiments.runner import ExperimentResult
-from repro.workloads.dfsio import dfsio_read, dfsio_write
+from repro.workloads.dfsio import dfsio_read
 
 #: (label, raidp kwargs or replication, paper's relative read runtime).
 BARS = [
@@ -47,14 +47,19 @@ def tasks(full_scale: bool = False, seeds: Sequence[int] = DEFAULT_SEEDS) -> Lis
 
 
 def run_task(key: TaskKey, full_scale: bool = False) -> float:
-    """One cell: write the dataset, then time reading it back."""
+    """One cell: time reading back the written dataset.
+
+    The write warmup is phase-memoized: the cluster is restored at the
+    post-``dfsio_write`` boundary (simulated once per configuration and
+    seed), which is bitwise-identical to writing inline -- pinned by
+    ``tests/test_snapshot_warmstart.py``.
+    """
     system, spec, seed = key
     scale = pick_scale(full_scale)
     if system == "hdfs":
-        dfs = build_hdfs(int(spec), scale, seed)
+        dfs = build_hdfs_written(int(spec), scale, seed)
     else:
-        dfs = build_raidp(scale, seed, **_BAR_KWARGS[spec])
-    dfsio_write(dfs, scale.dataset)
+        dfs = build_raidp_written(scale, seed, **_BAR_KWARGS[spec])
     return dfsio_read(dfs).runtime
 
 

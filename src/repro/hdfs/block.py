@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional
+from repro.sim.snapshot import InlineState
 
 
 @dataclass(frozen=True)
-class Block:
+class Block(InlineState):
     """Immutable identity of one DFS block."""
 
     block_id: int
@@ -27,7 +28,7 @@ class Block:
 
 
 @dataclass
-class BlockLocations:
+class BlockLocations(InlineState):
     """NameNode-side record: where a block's replicas live."""
 
     block: Block

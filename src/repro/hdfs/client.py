@@ -31,9 +31,10 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.network import Switch
 from repro.sim.node import Node
 from repro.storage.payload import ContentFactory, Payload
+from repro.sim.snapshot import InlineState
 
 
-class DfsClient:
+class DfsClient(InlineState):
     """A client bound to one node of the cluster."""
 
     def __init__(

@@ -10,10 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import units
+from repro.sim.snapshot import InlineState
 
 
 @dataclass(frozen=True)
-class DfsConfig:
+class DfsConfig(InlineState):
     """DFS-wide settings shared by the NameNode, DataNodes, and clients."""
 
     block_size: int = 64 * units.MiB

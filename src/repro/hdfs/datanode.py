@@ -35,9 +35,10 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.node import Node
 from repro.sim.resources import Lock
 from repro.storage.payload import ContentFactory, Payload
+from repro.sim.snapshot import InlineState
 
 
-class DataNode:
+class DataNode(InlineState):
     """One storage server in the DFS."""
 
     #: Disk I/O granularity for the streamed write path: the page cache

@@ -17,9 +17,10 @@ from repro.hdfs.namenode import NameNode, PlacementPolicy, ReplicationPlacement
 from repro.sim.cluster import Cluster, ClusterSpec
 from repro.sim.engine import Simulator
 from repro.storage.payload import ContentFactory
+from repro.sim.snapshot import InlineState
 
 
-class HdfsCluster:
+class HdfsCluster(InlineState):
     """A ready-to-run baseline DFS over the simulated cluster."""
 
     def __init__(

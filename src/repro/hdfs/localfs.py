@@ -26,10 +26,11 @@ from typing import Dict, Generator, List, Optional, Tuple
 from repro.errors import DeviceError
 from repro.sim.disk import Disk
 from repro.sim.engine import Simulator
+from repro.sim.snapshot import InlineState
 
 
 @dataclass
-class _Extent:
+class _Extent(InlineState):
     """One contiguous physical run backing part of a file."""
 
     file_offset: int
@@ -42,14 +43,14 @@ class _Extent:
 
 
 @dataclass
-class _File:
+class _File(InlineState):
     name: str
     extents: List[_Extent] = field(default_factory=list)
     fixed_base: Optional[int] = None
     size: int = 0
 
 
-class LocalFs:
+class LocalFs(InlineState):
     """Extent-mapped files over one simulated disk."""
 
     def __init__(self, sim: Simulator, disk: Disk, policy: str = "extent") -> None:

@@ -23,6 +23,7 @@ from repro.errors import (
 )
 from repro.hdfs.block import Block, BlockLocations
 from repro.hdfs.config import DfsConfig
+from repro.sim.snapshot import InlineState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.hdfs.datanode import DataNode
@@ -48,7 +49,7 @@ def healthy_datanode(datanode) -> bool:
     return True
 
 
-class PlacementPolicy:
+class PlacementPolicy(InlineState):
     """Chooses the replica set for a new block."""
 
     def choose_targets(
@@ -109,7 +110,7 @@ class ReplicationPlacement(PlacementPolicy):
         return BlockLocations(block=block, datanodes=chosen)
 
 
-class NameNode:
+class NameNode(InlineState):
     """The metadata master: files, blocks, locations, liveness."""
 
     def __init__(self, config: DfsConfig, placement: PlacementPolicy) -> None:

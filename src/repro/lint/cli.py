@@ -27,8 +27,13 @@ from .rules import default_rules
 #: is reviewable in one place; everything else uses inline
 #: ``# raidp: noqa[RULE] -- reason`` suppressions.
 DEFAULT_ALLOWLISTS: Dict[str, tuple] = {
-    # The perf harness exists to read the wall clock.
-    "RDP001": ("*/repro/tools/bench.py",),
+    # The perf harness and the hot-path profiler exist to read the wall
+    # clock.
+    "RDP001": (
+        "*/repro/tools/bench.py",
+        "*/repro/tools/profile.py",
+        "*/repro/obs/simprofile.py",
+    ),
     # Real file I/O lives in the exporters and the CLI tools by design.
     "RDP003": ("*/repro/obs/export.py",),
 }

@@ -35,6 +35,8 @@ CATEGORIES: Dict[str, str] = {
     "emitted by faults.py.",
     "journal": "Journal occupancy counter samples, emitted by core/journal.py.",
     "bench": "Synthetic spans emitted by the perf harness (tools/bench.py).",
+    "workload": "Application-level workload drivers (DFSIO, TeraSort, "
+    "WordCount task loops), attributed by obs/simprofile.py.",
     "durability": "Long-horizon durability-engine events (loss-risk "
     "instants, per-trial spans), emitted by analysis/montecarlo.py.",
     "fleet": "Fleet-level state samples (dead-disk counters, merged "

@@ -16,10 +16,11 @@ from repro.sim.disk import Disk, DiskGeometry
 from repro.sim.engine import Simulator
 from repro.sim.network import Nic, Switch
 from repro.sim.node import CpuModel, Node
+from repro.sim.snapshot import InlineState
 
 
 @dataclass(frozen=True)
-class ClusterSpec:
+class ClusterSpec(InlineState):
     """Shape of the simulated cluster.
 
     The defaults mirror the paper's evaluation hardware: 16 nodes, one
@@ -37,7 +38,7 @@ class ClusterSpec:
     ram: int = 16 * units.GiB
 
 
-class Cluster:
+class Cluster(InlineState):
     """A fully-built topology: nodes, disks, NICs, one switch."""
 
     def __init__(self, sim: Simulator, spec: Optional[ClusterSpec] = None) -> None:

@@ -4,8 +4,8 @@ The kernel follows the familiar process-interaction style: a *process* is a
 Python generator that ``yield``\\ s :class:`Event` objects; the simulator
 resumes the generator when the yielded event fires.  Determinism is a hard
 requirement (experiment results must be reproducible bit-for-bit), so ties
-in the event heap are broken by a monotonically increasing sequence number
-and no wall-clock or global randomness is consulted anywhere.
+in the event schedule are broken by a monotonically increasing sequence
+number and no wall-clock or global randomness is consulted anywhere.
 
 Example::
 
@@ -19,15 +19,42 @@ Example::
     sim.process(worker(sim, results))
     sim.run()
     assert results == [1.5]
+
+Scheduler
+---------
+Pending entries live in three lanes, dispatched in exact global
+``(time, seq)`` order:
+
+- the *now-bucket*: a FIFO of zero-delay entries for the current instant
+  (event triggers, process bootstraps, deferred callbacks) -- the bulk of
+  the schedule;
+- the *calendar lane*: a FIFO of future entries appended while their
+  times are non-decreasing.  Simulated hardware overwhelmingly schedules
+  constant-delay chains (disk service times, network timer ticks,
+  recovery chunk loops), so successive delays land in non-decreasing
+  time order and a deque append/popleft replaces two O(log n) heap
+  operations;
+- the *overflow heap*: a binary heap catching entries scheduled out of
+  order (an earlier deadline while later work is already parked).
+
+Dispatch always takes the minimum ``(time, seq)`` across the three
+lanes, so the routing policy never changes the dispatch order -- it only
+changes which container held the entry.  ``RAIDP_SCHEDULER=heap``
+(mirroring ``RAIDP_NET_SOLVER``) retains the pure binary-heap reference:
+the lane is simply never used, and the differential tests in
+``tests/test_scheduler_differential.py`` prove both modes dispatch
+bitwise-identically.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.simprofile import active_profiler
 from repro.obs.tracer import active_tracer
 
 # A process body: a generator that yields Events and may return a value.
@@ -36,18 +63,34 @@ ProcessBody = Generator["Event", Any, Any]
 #: Sentinel stored in ``Event._callbacks`` once the event has dispatched.
 _DISPATCHED = object()
 
+#: Environment override for the scheduler ("calendar" or "heap"); an
+#: explicit ``Simulator(scheduler=...)`` argument wins.
+SCHEDULER_ENV_VAR = "RAIDP_SCHEDULER"
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+def _resolve_scheduler(explicit: Optional[str]) -> str:
+    mode = explicit or os.environ.get(SCHEDULER_ENV_VAR, "") or "calendar"
+    if mode not in ("calendar", "heap"):
+        raise ValueError(
+            f"unknown scheduler {mode!r} (expected 'calendar' or 'heap')"
+        )
+    return mode
+
 
 class _Deferred:
-    """A bare callback on the event heap.
+    """A bare callback on the schedule.
 
-    The heap only requires entries to expose ``_dispatch``; a one-field
-    object is much cheaper than a full :class:`Event` for the internal
-    "run this soon" pattern (process bootstrap, late callbacks,
+    The schedule only requires entries to expose ``_dispatch``; a
+    one-field object is much cheaper than a full :class:`Event` for the
+    internal "run this soon" pattern (process bootstrap, late callbacks,
     interrupts), which fires once per process and never carries a value.
 
     Instances are pooled by the simulator: once dispatched, the loop
     recycles the entry for the next :meth:`Simulator._schedule_callback`,
-    so callback-heavy phases (process churn) allocate no heap entries in
+    so callback-heavy phases (process churn) allocate no entries in
     steady state.
     """
 
@@ -71,6 +114,12 @@ class Event:
     """
 
     __slots__ = ("sim", "_callbacks", "_value", "_exception", "triggered", "_scheduled")
+
+    #: True when a waiting process may attach itself by writing
+    #: ``_callbacks`` directly (the inlined ``_wait_for`` fast path).
+    #: :class:`Process` overrides this: its ``add_callback`` also records
+    #: that the completion was observed.
+    _inline_wait = True
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -102,8 +151,20 @@ class Event:
         return self._exception
 
     def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully, delivering ``value``."""
-        self._trigger(value, None)
+        """Trigger the event successfully, delivering ``value``.
+
+        The ``_trigger`` body is inlined: triggering is the hottest
+        scheduling site (every completion lands here).
+        """
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self._value = value
+        if not self._scheduled:
+            self._scheduled = True
+            sim = self.sim
+            sim._seq += 1
+            sim._now_bucket.append((sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -119,8 +180,7 @@ class Event:
         self.triggered = True
         self._value = value
         self._exception = exception
-        # Inlined zero-delay _schedule_event: triggering is the hottest
-        # scheduling site (every succeed/fail lands here).
+        # Inlined zero-delay _schedule_event (same body as succeed()).
         if not self._scheduled:
             self._scheduled = True
             sim = self.sim
@@ -185,19 +245,42 @@ class _Sleep(Event):
 class Process(Event):
     """A running generator.  As an Event it fires when the body returns."""
 
-    __slots__ = ("body", "name", "_waiting_on", "_had_waiters", "_trace_t0")
+    __slots__ = ("body", "name", "_waiting_on", "_had_waiters", "_trace_t0",
+                 "_send", "_bthrow", "_rcb")
+
+    #: Waiters must go through add_callback so _had_waiters is recorded.
+    _inline_wait = False
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "") -> None:
-        super().__init__(sim)
+        # Inlined Event.__init__: process churn (one per simulated I/O in
+        # the recovery loops) makes this constructor hot.
+        self.sim = sim
+        self._callbacks = None
+        self._value = None
+        self._exception = None
+        self.triggered = False
+        self._scheduled = False
         self.body = body
         self.name = name or getattr(body, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         self._had_waiters = False
+        # Prebound body resumption and wake callback: every resume saves
+        # a method-wrapper allocation and an attribute chain.
+        self._send = body.send
+        self._bthrow = body.throw
+        self._rcb: Callable[[Event], None] = self._resume
         if sim.trace.enabled:
             self._trace_t0 = sim.now
-        # Kick off the body on the next step (deferred callback: no
-        # bootstrap Event allocation per process).
-        sim._schedule_callback(self._start)
+        # Kick off the body on the next step; inlined _schedule_callback
+        # (deferred-pool reuse, no bootstrap Event allocation).
+        pool = sim._deferred_pool
+        if pool:
+            entry = pool.pop()
+            entry.fn = self._start
+        else:
+            entry = _Deferred(self._start)
+        sim._seq += 1
+        sim._now_bucket.append((sim._seq, entry))
         sim._live_processes += 1
 
     @property
@@ -226,12 +309,20 @@ class Process(Event):
             return
         self._waiting_on = None
         try:
-            target = self.body.throw(exc)
+            target = self._bthrow(exc)
         except StopIteration as stop:
             self._finish_ok(stop.value)
         except BaseException as err:  # noqa: BLE001 - propagate into the event
             self._finish_fail(err)
         else:
+            # Inlined _wait_for fast path (see _resume).
+            try:
+                if target._callbacks is None and target._inline_wait:
+                    self._waiting_on = target
+                    target._callbacks = self._rcb
+                    return
+            except AttributeError:
+                pass
             self._wait_for(target)
 
     def _start(self) -> None:
@@ -239,28 +330,46 @@ class Process(Event):
         if self.triggered:
             return
         try:
-            target = self.body.send(None)
+            target = self._send(None)
         except StopIteration as stop:
             self._finish_ok(stop.value)
         except BaseException as err:  # noqa: BLE001 - propagate into the event
             self._finish_fail(err)
         else:
+            try:
+                if target._callbacks is None and target._inline_wait:
+                    self._waiting_on = target
+                    target._callbacks = self._rcb
+                    return
+            except AttributeError:
+                pass
             self._wait_for(target)
 
     def _resume(self, event: Event) -> None:
         if self.triggered:
             return
-        self._waiting_on = None
         try:
             if event._exception is not None:
-                target = self.body.throw(event._exception)
+                target = self._bthrow(event._exception)
             else:
-                target = self.body.send(event._value)
+                target = self._send(event._value)
         except StopIteration as stop:
             self._finish_ok(stop.value)
         except BaseException as err:  # noqa: BLE001 - propagate into the event
             self._finish_fail(err)
         else:
+            # Inlined _wait_for fast path: the overwhelmingly common
+            # target is a fresh event with no waiter yet, where waiting
+            # is a single slot write.  Process targets opt out via
+            # _inline_wait (their add_callback records observation) and
+            # non-events lack the slots entirely (AttributeError).
+            try:
+                if target._callbacks is None and target._inline_wait:
+                    self._waiting_on = target
+                    target._callbacks = self._rcb
+                    return
+            except AttributeError:
+                pass
             self._wait_for(target)
 
     def _wait_for(self, target: Any) -> None:
@@ -270,7 +379,7 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        target.add_callback(self._rcb)
 
     def _finish_ok(self, value: Any) -> None:
         sim = self.sim
@@ -314,14 +423,28 @@ class AllOf(Event):
     __slots__ = ("_children", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
-        super().__init__(sim)
-        self._children = list(events)
-        self._remaining = len(self._children)
+        # Inlined Event.__init__ (one AllOf per chunk iteration in the
+        # recovery loops).
+        self.sim = sim
+        self._callbacks = None
+        self._value = None
+        self._exception = None
+        self.triggered = False
+        self._scheduled = False
+        children = self._children = list(events)
+        self._remaining = len(children)
         if self._remaining == 0:
             self.succeed([])
             return
-        for child in self._children:
-            child.add_callback(self._on_child)
+        on_child = self._on_child
+        for child in children:
+            # Inlined _wait_for fast path (see Process._resume): a fresh
+            # waiter-less event takes a slot write; Process children opt
+            # out so their add_callback records observation.
+            if child._callbacks is None and child._inline_wait:
+                child._callbacks = on_child
+            else:
+                child.add_callback(on_child)
 
     def _on_child(self, child: Event) -> None:
         if self.triggered:
@@ -357,34 +480,51 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event) triples.
+    """The event loop: three dispatch lanes merged in (time, seq) order.
 
     Zero-delay work (event triggers, process bootstraps, deferred
-    callbacks) dominates the schedule, so it bypasses the heap entirely:
-    a FIFO *now-bucket* holds entries for the current instant and the run
-    loop merges bucket and heap by sequence number, which reproduces the
-    exact (time, seq) dispatch order of a single heap bit-for-bit while
-    skipping two O(log n) heap operations per entry.
+    callbacks) dominates the schedule, so it bypasses timed containers
+    entirely: a FIFO *now-bucket* holds entries for the current instant.
+    Timed entries land in the calendar *lane* (a deque) while their times
+    are non-decreasing and spill to the overflow *heap* otherwise; see
+    the module docstring.  The run loop merges all three by sequence
+    number, which reproduces the exact (time, seq) dispatch order of a
+    single heap bit-for-bit.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, scheduler: Optional[str] = None) -> None:
         self.now: float = start
         # The tracer bound at construction (NULL_TRACER unless a tracer
         # is active); instrumentation sites branch on ``trace.enabled``.
-        # Emitting events never touches the heap or the sequence counter,
-        # so traced and untraced runs execute identical schedules.
+        # Emitting events never touches the schedule or the sequence
+        # counter, so traced and untraced runs execute identical
+        # schedules.
         self.trace = active_tracer()
         self._trace_run = self.trace.register_run() if self.trace.enabled else 0
+        # The profiler bound at construction (None unless one is
+        # active).  Consulted once per run() call -- never per event --
+        # so the disabled path costs nothing on the hot loop.
+        self._profile = active_profiler()
+        #: "calendar" (deque lane + overflow heap) or "heap" (pure
+        #: binary-heap reference, kept for differential testing).
+        self.scheduler = _resolve_scheduler(scheduler)
         # Entries are (time, seq, Event-or-_Deferred); seq is unique, so
         # the third element is never compared.
         self._heap: List[Tuple[float, int, Any]] = []
+        # Calendar lane: (time, seq, entry) with non-decreasing (time,
+        # seq); _lane_tail is the largest time ever appended (reset when
+        # the lane drains so the next monotone run is recaptured).  Heap
+        # mode pins the tail at +inf so every timed entry heap-spills.
+        self._lane: Deque[Tuple[float, int, Any]] = deque()
+        self._lane_reset = _NEG_INF if self.scheduler == "calendar" else _POS_INF
+        self._lane_tail = self._lane_reset
         # Zero-delay entries for the current instant: (seq, entry) pairs,
         # appended in seq order (seq is globally monotone).
         self._now_bucket: Deque[Tuple[int, Any]] = deque()
         self._seq = 0
         self._live_processes = 0
         self._failed: List[Tuple[Process, BaseException]] = []
-        # Recycled _Deferred heap entries (see _schedule_callback).
+        # Recycled _Deferred entries (see _schedule_callback).
         self._deferred_pool: List[_Deferred] = []
         # Recycled _Sleep events (see sleep()).
         self._sleep_pool: List[_Sleep] = []
@@ -405,6 +545,7 @@ class Simulator:
         """
         if (
             self._heap
+            or self._lane
             or self._now_bucket
             or self._flush_hooks
             or self._live_processes
@@ -418,11 +559,17 @@ class Simulator:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.now = float(state["now"])
-        # Tracing state is process-local and never snapshotted; rebind to
-        # whatever tracer is active in the restoring process.
+        # Tracing/profiling state is process-local and never snapshotted;
+        # rebind to whatever is active in the restoring process.  The
+        # scheduler mode likewise re-resolves from the environment.
         self.trace = active_tracer()
         self._trace_run = self.trace.register_run() if self.trace.enabled else 0
+        self._profile = active_profiler()
+        self.scheduler = _resolve_scheduler(None)
         self._heap = []
+        self._lane = deque()
+        self._lane_reset = _NEG_INF if self.scheduler == "calendar" else _POS_INF
+        self._lane_tail = self._lane_reset
         self._now_bucket = deque()
         self._seq = int(state["seq"])
         self._live_processes = 0
@@ -438,7 +585,30 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """A fresh delay event (flattened hot-path constructor)."""
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        # Inlined Timeout.__init__ + _schedule_event: direct slot writes
+        # skip two constructor frames on one of the hottest call sites.
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event._callbacks = None
+        event._value = value
+        event._exception = None
+        event.triggered = True
+        event._scheduled = True
+        event.delay = delay
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            self._now_bucket.append((seq, event))
+        else:
+            when = self.now + delay
+            if when >= self._lane_tail or not self._lane:
+                self._lane_tail = when
+                self._lane.append((when, seq, event))
+            else:
+                heapq.heappush(self._heap, (when, seq, event))
+        return event
 
     def sleep(self, delay: float, value: Any = None) -> Event:
         """A pooled fixed delay for engine-internal hot paths.
@@ -463,11 +633,16 @@ class Simulator:
             event._value = value
         event.triggered = True
         event._scheduled = True
-        self._seq += 1
+        self._seq = seq = self._seq + 1
         if delay == 0.0:
-            self._now_bucket.append((self._seq, event))
+            self._now_bucket.append((seq, event))
         else:
-            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+            when = self.now + delay
+            if when >= self._lane_tail or not self._lane:
+                self._lane_tail = when
+                self._lane.append((when, seq, event))
+            else:
+                heapq.heappush(self._heap, (when, seq, event))
         return event
 
     def process(self, body: ProcessBody, name: str = "") -> Process:
@@ -486,11 +661,16 @@ class Simulator:
         if event._scheduled:
             return
         event._scheduled = True
-        self._seq += 1
+        self._seq = seq = self._seq + 1
         if delay == 0.0:
-            self._now_bucket.append((self._seq, event))
+            self._now_bucket.append((seq, event))
         else:
-            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+            when = self.now + delay
+            if when >= self._lane_tail or not self._lane:
+                self._lane_tail = when
+                self._lane.append((when, seq, event))
+            else:
+                heapq.heappush(self._heap, (when, seq, event))
 
     def _schedule_callback(self, fn: Callable[[], None]) -> None:
         """Queue a bare callback at the current time (fast path).
@@ -533,23 +713,51 @@ class Simulator:
     def _note_process_failure(self, process: Process, exc: BaseException) -> None:
         self._failed.append((process, exc))
 
+    def _next_entry(self) -> Tuple[float, Any]:
+        """Pop the globally minimal (time, seq) entry; advance the clock.
+
+        The non-inlined single-step selection shared by :meth:`step` and
+        the profiled loop; semantics match the inlined :meth:`_drain`
+        loop exactly.  Raises IndexError on an empty schedule.
+        """
+        bucket = self._now_bucket
+        lane = self._lane
+        heap = self._heap
+        now = self.now
+        # (when, seq) of each candidate; bucket entries fire at `now`.
+        best_src = -1
+        best_when = 0.0
+        best_seq = 0
+        if bucket:
+            best_src, best_when, best_seq = 0, now, bucket[0][0]
+        if lane:
+            l0 = lane[0]
+            if best_src < 0 or (l0[0], l0[1]) < (best_when, best_seq):
+                best_src, best_when, best_seq = 1, l0[0], l0[1]
+        if heap:
+            h0 = heap[0]
+            if best_src < 0 or (h0[0], h0[1]) < (best_when, best_seq):
+                best_src, best_when, best_seq = 2, h0[0], h0[1]
+        if best_src < 0:
+            raise IndexError("step from an empty schedule")
+        if best_src == 0:
+            entry = bucket.popleft()[1]
+        elif best_src == 1:
+            entry = lane.popleft()[2]
+        else:
+            best_when, _seq, entry = heapq.heappop(heap)
+        if best_when < now:
+            raise SimulationError("time went backwards")
+        self.now = best_when
+        return best_when, entry
+
     def step(self) -> None:
         """Advance to and dispatch the next scheduled entry.
 
         Flush hooks are a :meth:`run`-loop notion; ``step`` dispatches
         scheduled entries only and leaves boundary hooks to the caller.
         """
-        bucket = self._now_bucket
-        heap = self._heap
-        if bucket and not (
-            heap and heap[0][0] <= self.now and heap[0][1] < bucket[0][0]
-        ):
-            event = bucket.popleft()[1]
-        else:
-            when, _seq, event = heapq.heappop(heap)
-            if when < self.now:
-                raise SimulationError("time went backwards")
-            self.now = when
+        _when, event = self._next_entry()
         event._dispatch()
         cls = type(event)
         if cls is _Deferred:
@@ -563,61 +771,155 @@ class Simulator:
         Returns the final simulated time.  Raises the first unobserved
         process failure, and raises :class:`DeadlockError` if processes
         remain blocked after the schedule drains.
-
-        The loop is the simulation's innermost hot path, so it inlines
-        :meth:`step` with the heap, bucket and pops bound locally and
-        recycles dispatched :class:`_Deferred`/:class:`_Sleep` entries
-        into their free lists.  Bucket and heap are merged by sequence
-        number, reproducing single-heap (time, seq) order exactly.
         """
         from repro.errors import DeadlockError
 
+        profile = self._profile
+        if profile is not None and profile.enabled:
+            self._drain_profiled(until, profile)
+        else:
+            self._drain(until)
+        self._raise_orphan_failures()
+        if (
+            until is None
+            and self._live_processes > 0
+            and not self._heap
+            and not self._lane
+        ):
+            raise DeadlockError(
+                f"{self._live_processes} process(es) blocked forever at t={self.now}"
+            )
+        return self.now
+
+    def _drain(self, until: Optional[float]) -> None:
+        """The simulation's innermost hot path.
+
+        Inlines entry selection, event dispatch (``Event._dispatch``
+        body) and :class:`_Deferred`/:class:`_Sleep` recycling with the
+        three lanes bound locally.  Bucket, lane and heap are merged by
+        (time, seq), reproducing single-heap dispatch order exactly.
+        """
         heap = self._heap
+        lane = self._lane
         bucket = self._now_bucket
         pop = heapq.heappop
         popleft = bucket.popleft
+        lane_popleft = lane.popleft
         deferred_pool = self._deferred_pool
         sleep_pool = self._sleep_pool
         flush_hooks = self._flush_hooks
         now = self.now
         while True:
             if bucket:
-                # Same instant: dispatch the older seq of bucket front vs
-                # heap top (heap entries at `now` predate later bucket
-                # appends iff their seq is smaller).
-                if heap and heap[0][0] <= now and heap[0][1] < bucket[0][0]:
-                    event = pop(heap)[2]
+                # Same instant: dispatch the oldest seq among bucket
+                # front and any lane/heap entries already due at `now`
+                # (they predate later bucket appends iff seq is smaller).
+                event = None
+                bseq = bucket[0][0]
+                if lane:
+                    l0 = lane[0]
+                    if l0[0] <= now and l0[1] < bseq:
+                        if heap and heap[0] < l0:
+                            event = pop(heap)[2]
+                        else:
+                            event = lane_popleft()[2]
+                if event is None:
+                    if heap and heap[0][0] <= now and heap[0][1] < bseq:
+                        event = pop(heap)[2]
+                    else:
+                        event = popleft()[1]
+            else:
+                if lane:
+                    use_lane = True
+                    l0 = lane[0]
+                    when = l0[0]
+                    if heap:
+                        h0 = heap[0]
+                        if h0 < l0:
+                            use_lane = False
+                            when = h0[0]
+                elif heap:
+                    use_lane = False
+                    when = heap[0][0]
+                elif flush_hooks:
+                    self._run_flush_hooks()
+                    continue
                 else:
-                    event = popleft()[1]
-            elif heap:
-                when = heap[0][0]
+                    break
                 if when > now and flush_hooks:
                     self._run_flush_hooks()
                     continue
                 if until is not None and when > until:
                     self.now = until
-                    break
-                when, _seq, event = pop(heap)
-                if when < now:
-                    raise SimulationError("time went backwards")
+                    return
+                if use_lane:
+                    event = lane_popleft()[2]
+                else:
+                    when, _seq, event = pop(heap)
+                    if when < now:
+                        raise SimulationError("time went backwards")
                 now = self.now = when
-            elif flush_hooks:
-                self._run_flush_hooks()
-                continue
+            # Inlined Event._dispatch + pool recycling.
+            cls = event.__class__
+            if cls is _Deferred:
+                fn = event.fn
+                event.fn = None
+                fn()
+                deferred_pool.append(event)
             else:
-                break
+                cb = event._callbacks
+                event._callbacks = _DISPATCHED
+                if cb is not None:
+                    if cb.__class__ is list:
+                        for callback in cb:
+                            callback(event)
+                    else:
+                        cb(event)
+                if cls is _Sleep:
+                    sleep_pool.append(event)
+
+    def _drain_profiled(self, until: Optional[float], profile: Any) -> None:
+        """The run loop with per-dispatch attribution.
+
+        Selection, flush-hook and until semantics are identical to
+        :meth:`_drain` (via :meth:`_next_entry`); the only additions are
+        bucket classification before dispatch and wall/sim-time
+        accounting around it.  Profiling never touches the sequence
+        counter or the schedule, so profiled and unprofiled runs execute
+        bitwise-identical schedules.
+        """
+        clock = profile.clock
+        record = profile.record
+        bucket_for = profile.bucket_for
+        while True:
+            if not self._now_bucket:
+                if self._lane or self._heap:
+                    l0 = self._lane[0] if self._lane else None
+                    h0 = self._heap[0] if self._heap else None
+                    head = l0 if (h0 is None or (l0 is not None and l0 < h0)) else h0
+                    when = head[0]
+                    if when > self.now and self._flush_hooks:
+                        self._run_flush_hooks()
+                        continue
+                    if until is not None and when > until:
+                        self.now = until
+                        return
+                elif self._flush_hooks:
+                    self._run_flush_hooks()
+                    continue
+                else:
+                    break
+            prev_now = self.now
+            when, event = self._next_entry()
+            key = bucket_for(event)
+            t0 = clock()
             event._dispatch()
+            record(key, when - prev_now, clock() - t0)
             cls = type(event)
             if cls is _Deferred:
-                deferred_pool.append(event)
+                self._deferred_pool.append(event)
             elif cls is _Sleep:
-                sleep_pool.append(event)
-        self._raise_orphan_failures()
-        if until is None and self._live_processes > 0 and not self._heap:
-            raise DeadlockError(
-                f"{self._live_processes} process(es) blocked forever at t={self.now}"
-            )
-        return self.now
+                self._sleep_pool.append(event)
 
     def run_process(self, body: ProcessBody, name: str = "") -> Any:
         """Convenience: spawn ``body``, run to completion, return its value."""

@@ -44,6 +44,7 @@ from repro import units
 from repro.errors import SimulationError
 from repro.sim.engine import Event, Simulator
 from repro.sim.stats import TimeWeightedGauge
+from repro.sim.snapshot import InlineState
 
 #: Environment override for the default allocator ("incremental" or
 #: "reference"); an explicit ``Switch(solver=...)`` argument wins.
@@ -53,7 +54,7 @@ _INF = float("inf")
 
 
 @dataclass
-class FlowStats:
+class FlowStats(InlineState):
     """Network accounting for one endpoint (node)."""
 
     bytes_sent: int = 0
@@ -150,7 +151,7 @@ class _Flow:
         self.threshold = max(1e-6, self.total * 1e-12)
 
 
-class Switch:
+class Switch(InlineState):
     """A non-blocking switch connecting NICs in a star topology."""
 
     #: Fixed one-way latency added to every transfer (switch + stack).
@@ -219,17 +220,26 @@ class Switch:
         """
         if nbytes < 0:
             raise ValueError("negative transfer size")
-        done = self.sim.event()
+        sim = self.sim
+        now = sim.now
+        # Flattened sim.event(): one flow per transferred chunk makes the
+        # constructor frames measurable in the recovery loops.
+        done = Event.__new__(Event)
+        done.sim = sim
+        done._callbacks = None
+        done._value = None
+        done._exception = None
+        done.triggered = False
+        done._scheduled = False
         src.stats.flows_started += 1
         if nbytes == 0:
-            start = self.sim.now
-            latency_done = self.sim.sleep(self.BASE_LATENCY)
+            latency_done = sim.sleep(self.BASE_LATENCY)
 
             def _deliver_empty(_ev: Event) -> None:
                 # A zero-byte flow still completes: close the
                 # started/finished accounting pair (it banks no bytes).
                 src.stats.flows_finished += 1
-                done.succeed(self.sim.now - start)
+                done.succeed(self.sim.now - now)
 
             latency_done.add_callback(_deliver_empty)
             return done
@@ -237,15 +247,15 @@ class Switch:
         dst_port = self._port(dst, is_tx=False)
         self._flow_seq += 1
         flow = _Flow(
-            src, dst, nbytes, done, self.sim.now, src_port, dst_port, self._flow_seq
+            src, dst, nbytes, done, now, src_port, dst_port, self._flow_seq
         )
         self._flows[flow] = None
         src_port.flows[flow] = None
         dst_port.flows[flow] = None
-        self.flows_gauge.adjust(1.0, self.sim.now)
-        trace = self.sim.trace
+        self.flows_gauge.adjust(1.0, now)
+        trace = sim.trace
         if trace.enabled:
-            trace.count("net", "active_flows", self.sim.now, len(self._flows))
+            trace.count("net", "active_flows", now, len(self._flows))
         if self._incremental:
             # Batch same-instant arrivals into one boundary solve: a
             # recovery wave starting k flows at once costs one component

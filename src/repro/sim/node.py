@@ -18,10 +18,11 @@ from repro.sim.disk import Disk, DiskGeometry
 from repro.sim.engine import Simulator
 from repro.sim.network import Nic
 from repro.sim.resources import Resource
+from repro.sim.snapshot import InlineState
 
 
 @dataclass(frozen=True)
-class CpuModel:
+class CpuModel(InlineState):
     """Per-node compute parameters.
 
     ``compute_rate`` is the rate at which a single core chews through
@@ -34,7 +35,7 @@ class CpuModel:
     compute_rate: float = 400 * units.MB  # bytes/second/core
 
 
-class Node:
+class Node(InlineState):
     """One server: named devices plus CPU and RAM-buffer bookkeeping."""
 
     def __init__(

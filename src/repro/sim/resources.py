@@ -21,9 +21,10 @@ from typing import Deque, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.engine import Event, Simulator
+from repro.sim.snapshot import InlineState
 
 
-class Resource:
+class Resource(InlineState):
     """A counted FIFO resource.
 
     Usage from a process body::
@@ -59,14 +60,28 @@ class Resource:
         """Return an event that fires when a unit of the resource is granted.
 
         The event's value is an opaque grant token to pass to
-        :meth:`release`.
+        :meth:`release`.  The construct-and-succeed path is flattened
+        (direct slot writes, no constructor or trigger frames): every
+        simulated I/O passes through here once.
         """
-        event = self.sim.event()
+        sim = self.sim
+        event = Event.__new__(Event)
+        event.sim = sim
+        event._callbacks = None
+        event._exception = None
         if self._in_use < self.capacity and not self._queue:
             self._in_use += 1
             self.total_grants += 1
-            event.succeed(_Grant(self))
+            # Inlined event.succeed(_Grant(self)).
+            event._value = _Grant(self)
+            event.triggered = True
+            event._scheduled = True
+            sim._seq += 1
+            sim._now_bucket.append((sim._seq, event))
         else:
+            event._value = None
+            event.triggered = False
+            event._scheduled = False
             self.total_waits += 1
             self._queue.append(event)
         return event
@@ -79,10 +94,18 @@ class Resource:
         if self._queue:
             # O(1) FIFO handoff: the released token passes straight to the
             # head waiter with no allocation.  The unit never goes idle,
-            # so _in_use is untouched and the token stays live.
+            # so _in_use is untouched and the token stays live.  Inlined
+            # waiter.succeed(grant): queued events are request()-private
+            # and still pending, so the triggered/scheduled checks are
+            # statically true.
             waiter = self._queue.popleft()
             self.total_grants += 1
-            waiter.succeed(grant)
+            waiter._value = grant
+            waiter.triggered = True
+            waiter._scheduled = True
+            sim = waiter.sim
+            sim._seq += 1
+            sim._now_bucket.append((sim._seq, waiter))
         else:
             grant.released = True
             self._in_use -= 1
@@ -108,7 +131,7 @@ class Lock(Resource):
         return self._in_use >= self.capacity
 
 
-class ByteRangeLock:
+class ByteRangeLock(InlineState):
     """Exclusive locking over half-open byte ranges ``[start, end)``.
 
     Requests for overlapping ranges are granted in FIFO order; requests for
@@ -190,7 +213,7 @@ class ByteRangeLock:
         return len(self._waiters)
 
 
-class ElevatorResource:
+class ElevatorResource(InlineState):
     """A capacity-one resource granting waiters in C-LOOK disk order.
 
     Waiters declare a *position* (byte offset); on each release the next

@@ -16,9 +16,10 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from math import fsum
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+from repro.sim.snapshot import InlineState
 
 
-class Counter:
+class Counter(InlineState):
     """A monotonically increasing count."""
 
     __slots__ = ("value",)
@@ -129,7 +130,7 @@ class TimeWeightedGauge:
 
 
 @dataclass
-class Histogram:
+class Histogram(InlineState):
     """A tiny fixed-bucket histogram for latency-style samples."""
 
     bounds: Tuple[float, ...] = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
@@ -183,7 +184,7 @@ def _key(name: str, labels: Dict[str, Any]) -> str:
     return f"{name}{{{inner}}}"
 
 
-class MetricSet:
+class MetricSet(InlineState):
     """A named bag of counters, gauges, and histograms for one run."""
 
     def __init__(self) -> None:

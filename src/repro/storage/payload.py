@@ -12,9 +12,10 @@ import zlib
 from typing import FrozenSet, Optional, Tuple, Union
 
 import numpy as np
+from repro.sim.snapshot import InlineState
 
 
-class Payload:
+class Payload(InlineState):
     """Common interface of both payload planes."""
 
     def xor(self, other: "Payload") -> "Payload":
@@ -224,7 +225,7 @@ class TokenPayload(Payload):
         return f"<TokenPayload {sorted(self.tokens)!r}>"
 
 
-class XorAccumulator:
+class XorAccumulator(InlineState):
     """Folds payloads under XOR without a fresh allocation per step.
 
     In the bytes plane the accumulator owns one writable buffer and XORs
@@ -276,7 +277,7 @@ def _stable_seed(seed: int, name: str, version: int) -> int:
     return (zlib.crc32(b"hi\x1f" + key) << 32) | zlib.crc32(b"lo\x1f" + key)
 
 
-class ContentFactory:
+class ContentFactory(InlineState):
     """Mints deterministic payloads for named data in either plane.
 
     ``mode`` is ``"bytes"`` (real data, sizes must be modest) or

@@ -8,6 +8,7 @@ Subcommands::
     raidpctl tco --disk-cost 280 --server-cost 28000 --disks 60
     raidpctl experiments fig8                     # regenerate a figure
     raidpctl trace run.json                       # summarize a trace file
+    raidpctl profile table2 --tasks 2             # rank simulation hot paths
 
 Every command is deterministic and runs entirely in simulation.
 """
@@ -78,6 +79,18 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-recovery superchunk rows to print (0 = all; default 8)",
     )
+
+    profile = sub.add_parser(
+        "profile",
+        help="rank an experiment's simulation hot paths "
+        "(deterministic event attribution; see repro.tools.profile)",
+    )
+    profile.add_argument("experiment", help="experiment id, e.g. table2")
+    profile.add_argument("--tasks", type=int, default=None, metavar="N")
+    profile.add_argument("--limit", type=int, default=None, metavar="N")
+    profile.add_argument("--json", default=None, metavar="PATH")
+    profile.add_argument("--full", action="store_true")
+    profile.add_argument("--cprofile", action="store_true")
     return parser
 
 
@@ -226,6 +239,23 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.tools.profile import main as profile_main
+
+    argv: List[str] = [args.experiment]
+    if args.tasks is not None:
+        argv += ["--tasks", str(args.tasks)]
+    if args.limit is not None:
+        argv += ["--limit", str(args.limit)]
+    if args.json is not None:
+        argv += ["--json", args.json]
+    if args.full:
+        argv.append("--full")
+    if args.cprofile:
+        argv.append("--cprofile")
+    return profile_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -235,6 +265,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "tco": cmd_tco,
         "experiments": cmd_experiments,
         "trace": cmd_trace,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

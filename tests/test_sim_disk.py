@@ -205,3 +205,83 @@ def test_repair_resets_head_and_clears_failure():
 
     assert sim.run_process(body()) > 0
     assert not disk.failed
+
+
+# ----------------------------------------------------------------------
+# stream_io: the uncontended fast path must be observationally identical
+# to the queued read/write path (timing, head, stats, gauge, histogram).
+# ----------------------------------------------------------------------
+_STREAM_OPS = [
+    ("write", 0, 4 * units.MiB),
+    ("write", 4 * units.MiB, 4 * units.MiB),  # sequential: no seek
+    ("read", 512 * units.MiB, 8 * units.MiB),  # far seek + rotation
+    ("read", 520 * units.MiB, 2 * units.MiB),
+    ("write", units.MiB, 3 * units.MiB),  # backward seek
+]
+
+
+def test_stream_io_matches_queued_path_exactly():
+    queued_sim = Simulator()
+    queued = make_disk(queued_sim)
+
+    def queued_body():
+        durations = []
+        for kind, offset, nbytes in _STREAM_OPS:
+            op = queued.read if kind == "read" else queued.write
+            durations.append((yield from op(offset, nbytes)))
+        return durations
+
+    queued_durations = queued_sim.run_process(queued_body())
+
+    stream_sim = Simulator()
+    stream = make_disk(stream_sim)
+
+    def stream_body():
+        durations = []
+        for kind, offset, nbytes in _STREAM_OPS:
+            duration = stream.stream_io(kind, offset, nbytes)
+            yield stream_sim.timeout(duration)
+            durations.append(duration)
+        return durations
+
+    stream_durations = stream_sim.run_process(stream_body())
+
+    assert stream_durations == queued_durations  # bitwise, not approx
+    assert stream_sim.now == queued_sim.now
+    assert stream.head == queued.head
+    assert stream.stats.seeks == queued.stats.seeks
+    assert stream.stats.seek_seconds == queued.stats.seek_seconds
+    assert stream.io_latency.counts == queued.io_latency.counts
+    assert stream.io_latency.sum == queued.io_latency.sum
+    assert stream.io_latency.max == queued.io_latency.max
+    assert stream.queue_gauge.max_value == queued.queue_gauge.max_value
+
+
+def test_stream_io_refuses_busy_queue():
+    from repro.errors import SimulationError
+
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def holder():
+        yield from disk.write(0, 64 * units.MiB)
+
+    def contender():
+        yield sim.timeout(0.0001)  # the holder owns the queue by now
+        with pytest.raises(SimulationError, match="busy disk"):
+            disk.stream_io("read", 0, units.MiB)
+
+    sim.process(holder())
+    sim.run_process(contender())
+
+
+def test_stream_io_respects_failure_and_bounds():
+    sim = Simulator()
+    disk = make_disk(sim)
+    with pytest.raises(ValueError):
+        disk.stream_io("read", -1, units.MiB)
+    with pytest.raises(ValueError):
+        disk.stream_io("read", disk.geometry.capacity, units.MiB)
+    disk.fail()
+    with pytest.raises(DiskFailedError):
+        disk.stream_io("read", 0, units.MiB)
