@@ -34,6 +34,7 @@ from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 from repro.core.recovery import RecoveryManager, RecoveryOptions, RecoveryReport
 from repro.errors import ReproError
 from repro.hdfs.datanode import DataNode
+from repro.obs.audit import active_auditor
 from repro.sim.engine import Process
 from repro.sim.network import Nic
 
@@ -180,6 +181,9 @@ class ClusterMonitor:
                 trace.instant(
                     "recovery", "detect", self.sim.now, dead=sorted(stale)
                 )
+            auditor = active_auditor()
+            if auditor is not None and auditor.enabled:
+                auditor.audit(self.sim, self.sim.now, event="detect")
             # Quarantine *before* spawning: the next sweep (which is not
             # blocked behind this recovery) must not re-detect the set.
             self._handled.update(stale)
@@ -269,6 +273,9 @@ class ClusterMonitor:
     def _note_report(self, report: RecoveryReport, stale: List[str]) -> None:
         self.reports.append(report)
         self.report_times.append(self.sim.now)
+        auditor = active_auditor()
+        if auditor is not None and auditor.enabled:
+            auditor.audit(self.sim, self.sim.now, event="recovered")
         # Remirrors that a stacked failure aborted mid-copy: the metadata
         # rolled back, so the next sweep can retry or degrade gracefully,
         # but the operator should still see them.

@@ -69,6 +69,10 @@ class DataLossError(RecoveryError):
     """Failures exceeded the redundancy of the configuration."""
 
 
+class AuditError(ReproError):
+    """A redundancy-state invariant failed a flight-recorder audit."""
+
+
 class JournalError(ReproError):
     """Journal protocol violation (e.g. replay of a corrupt record)."""
 

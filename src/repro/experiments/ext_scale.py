@@ -49,7 +49,15 @@ SUPERCHUNKS_PER_DISK = 8
 #: snapshot of the post-ingest cluster; the recovery phase restores that
 #: snapshot instead of re-simulating the whole ingest.  Legacy 3-tuple
 #: RAIDP keys still run both phases in one simulator.
+#:
+#: Phase-split RAIDP tasks additionally run under the flight recorder
+#: and append a 4th element -- per-phase disk-latency SLO summaries --
+#: to their result tuples; the first three elements keep the legacy
+#: layout, so 3-unpacking consumers keep working.
 TaskKey = Tuple
+
+#: Sampling cadence for the phase SLO summaries (simulated seconds).
+SLO_SAMPLE_INTERVAL = 0.25
 
 
 def tasks(
@@ -125,6 +133,27 @@ def _recover_worst_pair(dfs: RaidpCluster) -> float:
     return report.duration
 
 
+def _phase_slo(sampler) -> Dict[str, float]:
+    """Small, picklable SLO digest of one sampled phase.
+
+    Scores the default disk-latency specs over this run's window and
+    keeps only numbers: the worst windowed p50/p99 and a 0/1 verdict
+    (so seed-averaging in merge() turns it into a pass fraction).
+    """
+    from repro.obs.slo import default_slos, evaluate_slos
+
+    latency = [s for s in default_slos() if s.series.startswith("disk_io_latency")]
+    digest: Dict[str, float] = {}
+    ok = 1.0
+    for result in evaluate_slos(sampler.store, latency, run=sampler.run):
+        label = result.spec.series.rsplit(":", 1)[1]
+        digest[f"{label}_worst"] = float(result.worst or 0.0)
+        if not result.ok:
+            ok = 0.0
+    digest["slo_ok"] = ok
+    return digest
+
+
 def run_task(
     key: TaskKey, full_scale: bool = False, deps: Optional[Dict[TaskKey, Tuple]] = None
 ) -> Tuple:
@@ -133,27 +162,44 @@ def run_task(
     - hdfs3 / legacy raidp keys return (write seconds, net GB per node,
       recovery seconds or None).
     - ("raidp", n, seed, "write") returns (write seconds, net GB per
-      node, snapshot bytes) -- the snapshot travels to the recovery task
-      as a dependency result (pickled across the pool boundary, which is
-      what makes spawn-context workers work at all).
-    - ("raidp", n, seed, "recovery") returns the final row triple
-      (write seconds, net GB per node, recovery seconds).
+      node, snapshot bytes, slo digest) -- the snapshot travels to the
+      recovery task as a dependency result (pickled across the pool
+      boundary, which is what makes spawn-context workers work at all).
+    - ("raidp", n, seed, "recovery") returns the final row tuple
+      (write seconds, net GB per node, recovery seconds, slo digests);
+      indexes 0-2 are the legacy triple.
     """
+    from repro.obs.metrics import cluster_metrics
+    from repro.obs.timeseries import Sampler, capture
     from repro.workloads.dfsio import dfsio_write
 
     scheme, num_nodes, seed = key[:3]
     if len(key) == 4 and key[3] == "recovery":
-        write_s, per_node_gb, blob = (deps or {})[(scheme, num_nodes, seed, "write")]
-        dfs = RaidpCluster.from_snapshot(blob)
-        return write_s, per_node_gb, _recover_worst_pair(dfs)
+        dep = (deps or {})[(scheme, num_nodes, seed, "write")]
+        write_s, per_node_gb, blob = dep[:3]
+        slo = dict(dep[3]) if len(dep) > 3 else {}
+        with capture(Sampler(interval=SLO_SAMPLE_INTERVAL)) as sampler:
+            dfs = RaidpCluster.from_snapshot(blob)
+            sampler.watch(cluster_metrics(dfs))
+            recovery_s = _recover_worst_pair(dfs)
+        slo["recovery"] = _phase_slo(sampler)
+        return write_s, per_node_gb, recovery_s, slo
     dataset = num_nodes * BYTES_PER_NODE * (8 if full_scale else 1)
+    if len(key) == 4:  # phase-split raidp: sampled write phase
+        with capture(Sampler(interval=SLO_SAMPLE_INTERVAL)) as sampler:
+            dfs = _build(scheme, num_nodes, seed)
+            sampler.watch(cluster_metrics(dfs))
+            write = dfsio_write(dfs, dataset)
+        per_node_gb = dfs.switch.total_bytes / num_nodes / units.GB
+        return (
+            write.runtime, per_node_gb, dfs.snapshot(),
+            {"write": _phase_slo(sampler)},
+        )
     dfs = _build(scheme, num_nodes, seed)
     write = dfsio_write(dfs, dataset)
     per_node_gb = dfs.switch.total_bytes / num_nodes / units.GB
     if scheme != "raidp":
         return write.runtime, per_node_gb, None
-    if len(key) == 4:
-        return write.runtime, per_node_gb, dfs.snapshot()
     return write.runtime, per_node_gb, _recover_worst_pair(dfs)
 
 
@@ -189,6 +235,21 @@ def merge(
                     f"{scheme} recovery @{num_nodes}",
                     mean(s[2] for s in samples),
                 )
+                # SLO columns ride only on phase-split (sampled) runs;
+                # legacy 3-tuple samples simply have no digest to report.
+                digests = [s[3] for s in samples if len(s) > 3]
+                for phase in ("write", "recovery"):
+                    rows = [d[phase] for d in digests if d.get(phase)]
+                    if not rows:
+                        continue
+                    result.add(
+                        f"{scheme} {phase} p99 worst @{num_nodes}",
+                        mean(r["p99_worst"] for r in rows),
+                    )
+                    result.add(
+                        f"{scheme} {phase} SLO ok @{num_nodes}",
+                        mean(r["slo_ok"] for r in rows),
+                    )
     result.notes = (
         "expected shape: write runtime and per-node network ~flat in "
         "cluster size for both schemes (scale-out); RAIDP's per-node "

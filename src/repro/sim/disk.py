@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator, List, Optional
 
 from repro import units
 from repro.errors import DiskFailedError, SimulationError
@@ -155,6 +155,28 @@ class Disk(InlineState):
             self._queue = ElevatorResource(sim, name=f"{name}.queue")
         else:
             self._queue = Resource(sim, capacity=1, name=f"{name}.queue")
+
+    def audit_state(self) -> List[str]:
+        """Internal-consistency problems, as strings (empty = healthy).
+
+        Read-only: probed by the flight-recorder auditor at sample
+        points.  Latency samples are recorded at I/O completion, so
+        in-flight operations may lag the histogram -- the check is an
+        inequality, never an exact match.
+        """
+        problems: List[str] = []
+        depth = self.queue_gauge.current
+        if depth < 0:
+            problems.append(f"disk {self.name}: negative queue depth {depth}")
+        completed = self.stats.ios + self.stats.syncs
+        if self.io_latency.total > completed:
+            problems.append(
+                f"disk {self.name}: {self.io_latency.total} latency samples "
+                f"exceed {completed} completed operations"
+            )
+        if self.stats.bytes_read < 0 or self.stats.bytes_written < 0:
+            problems.append(f"disk {self.name}: negative byte accounting")
+        return problems
 
     def _enqueue(self, offset: int) -> Event:
         """Queue an I/O; the elevator orders waiters by target offset."""

@@ -55,6 +55,7 @@ from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Option
 
 from repro.errors import SimulationError
 from repro.obs.simprofile import active_profiler
+from repro.obs.timeseries import active_sampler
 from repro.obs.tracer import active_tracer
 
 # A process body: a generator that yields Events and may return a value.
@@ -505,6 +506,13 @@ class Simulator:
         # active).  Consulted once per run() call -- never per event --
         # so the disabled path costs nothing on the hot loop.
         self._profile = active_profiler()
+        # The flight-recorder sampler (None unless one is active).  Also
+        # consulted once per run(); when active, run() drains to each
+        # sample instant via the ordinary `until` mechanism, so sampling
+        # never perturbs the schedule or the sequence counter.
+        self._sampler = active_sampler()
+        if self._sampler is not None and self._sampler.enabled:
+            self._sampler.register_run(self.now)
         #: "calendar" (deque lane + overflow heap) or "heap" (pure
         #: binary-heap reference, kept for differential testing).
         self.scheduler = _resolve_scheduler(scheduler)
@@ -565,6 +573,9 @@ class Simulator:
         self.trace = active_tracer()
         self._trace_run = self.trace.register_run() if self.trace.enabled else 0
         self._profile = active_profiler()
+        self._sampler = active_sampler()
+        if self._sampler is not None and self._sampler.enabled:
+            self._sampler.register_run(self.now)
         self.scheduler = _resolve_scheduler(None)
         self._heap = []
         self._lane = deque()
@@ -775,7 +786,10 @@ class Simulator:
         from repro.errors import DeadlockError
 
         profile = self._profile
-        if profile is not None and profile.enabled:
+        sampler = self._sampler
+        if sampler is not None and sampler.enabled:
+            self._drain_sampled(until, sampler)
+        elif profile is not None and profile.enabled:
             self._drain_profiled(until, profile)
         else:
             self._drain(until)
@@ -877,6 +891,33 @@ class Simulator:
                         cb(event)
                 if cls is _Sleep:
                     sleep_pool.append(event)
+
+    def _drain_sampled(self, until: Optional[float], sampler: Any) -> None:
+        """The run loop chunked at the sampler's tick grid.
+
+        Each chunk is an ordinary :meth:`_drain` (or profiled drain) to
+        the next sample instant -- the same ``until`` mechanism callers
+        use -- so the dispatched schedule is bitwise-identical to an
+        unsampled run: no event scheduled, no sequence number consumed.
+        A sample is taken only when the chunk actually reached its tick
+        (work remains beyond it); a drained schedule ends the run
+        without trailing empty ticks.
+        """
+        profile = self._profile
+        profiled = profile is not None and profile.enabled
+        while True:
+            due = sampler.next_due()
+            target = due if until is None or due <= until else until
+            if profiled:
+                self._drain_profiled(target, profile)
+            else:
+                self._drain(target)
+            if not (self._now_bucket or self._lane or self._heap):
+                return
+            if target != due:
+                # The caller's horizon precedes the next tick.
+                return
+            sampler.sample(self)
 
     def _drain_profiled(self, until: Optional[float], profile: Any) -> None:
         """The run loop with per-dispatch attribution.

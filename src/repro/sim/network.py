@@ -667,3 +667,47 @@ class Switch(InlineState):
     def node_traffic(self) -> Dict[str, FlowStats]:
         """Per-NIC traffic counters, keyed by NIC name."""
         return {name: nic.stats for name, nic in self._nics.items()}
+
+    def audit_flow_conservation(self) -> List[str]:
+        """Flow-bookkeeping problems, as strings (empty = conserved).
+
+        Read-only (no solve, no banking): probed by the flight-recorder
+        auditor.  Checks that the global flow set and the per-port
+        registries describe the same flows, that no finished or
+        negative-remaining flow lingers, and that each attached NIC's
+        started/finished counters balance its active sends.
+        """
+        problems: List[str] = []
+        for flow in self._flows:
+            label = f"{flow.src.name}->{flow.dst.name}"
+            if flow.finished:
+                problems.append(f"net: finished flow {label} still active")
+            if flow.remaining < -1e-6:
+                problems.append(
+                    f"net: flow {label} remaining {flow.remaining} < 0"
+                )
+            if flow not in flow.src_port.flows:
+                problems.append(f"net: flow {label} missing from tx port")
+            if flow not in flow.dst_port.flows:
+                problems.append(f"net: flow {label} missing from rx port")
+        for ports, side in ((self._tx_ports, "tx"), (self._rx_ports, "rx")):
+            for nic, port in ports.items():
+                for flow in port.flows:
+                    if flow not in self._flows:
+                        problems.append(
+                            f"net: {side} port {nic.name} holds a flow "
+                            "absent from the global set"
+                        )
+        active_by_src: Dict[str, int] = {}
+        for flow in self._flows:
+            name = flow.src.name
+            active_by_src[name] = active_by_src.get(name, 0) + 1
+        for name, nic in self._nics.items():
+            balance = nic.stats.flows_started - nic.stats.flows_finished
+            expected = active_by_src.get(name, 0)
+            if balance != expected:
+                problems.append(
+                    f"net: NIC {name} started-finished balance {balance} "
+                    f"!= {expected} active sends"
+                )
+        return problems

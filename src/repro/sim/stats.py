@@ -15,7 +15,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from math import fsum
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.sim.snapshot import InlineState
 
 
@@ -31,6 +31,62 @@ class Counter(InlineState):
         if amount < 0:
             raise ValueError("counters only increase")
         self.value += amount
+
+
+class CounterView:
+    """A read-only live view of a cumulative count owned by a component.
+
+    Components keep their counts as plain int attributes (``DiskStats``,
+    datanode/client stats); a registry that copied those values at
+    registration time would report stale numbers forever after.  A view
+    re-reads the supplier on every access, so one registry built early
+    stays correct for the component's whole lifetime.
+    """
+
+    __slots__ = ("_supplier",)
+
+    def __init__(self, supplier: Callable[[], int]) -> None:
+        self._supplier = supplier
+
+    @property
+    def value(self) -> int:
+        return int(self._supplier())
+
+    def add(self, amount: int = 1) -> None:
+        raise TypeError("CounterView is read-only; mutate the component")
+
+
+#: What a MetricSet stores under a counter key: an owned Counter or a
+#: live read-only view over a component's own count.
+CounterLike = Union[Counter, CounterView]
+
+
+class GaugeView:
+    """A read-only live gauge over a component-owned instantaneous value.
+
+    Unlike :class:`TimeWeightedGauge` nobody pushes updates into it; the
+    supplier is re-read on access, and the running max only observes the
+    instants at which the view was actually read (the sampler reads every
+    tick, so for sampled series the max is the max over sample points).
+    ``average`` reports the current value -- a view has no time-weighted
+    history of its own.
+    """
+
+    __slots__ = ("_supplier", "max_value")
+
+    def __init__(self, supplier: Callable[[], float]) -> None:
+        self._supplier = supplier
+        self.max_value = 0.0
+
+    @property
+    def current(self) -> float:
+        value = float(self._supplier())
+        if value > self.max_value:
+            self.max_value = value
+        return value
+
+    def average(self, now: Optional[float] = None) -> float:
+        return self.current
 
 
 class TimeWeightedGauge:
@@ -129,6 +185,11 @@ class TimeWeightedGauge:
         return area / span
 
 
+#: What a MetricSet stores under a gauge key: an owned/adopted
+#: time-weighted gauge or a live read-only view.
+GaugeLike = Union[TimeWeightedGauge, GaugeView]
+
+
 @dataclass
 class Histogram(InlineState):
     """A tiny fixed-bucket histogram for latency-style samples."""
@@ -166,6 +227,19 @@ class Histogram(InlineState):
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0.0 <= q <= 1.0``) from buckets.
+
+        Linear interpolation within the bucket containing the target
+        rank; the open-ended top bucket interpolates toward the observed
+        max.  Exact for the bucket edges, approximate inside.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        return percentile_from_buckets(self.bounds, self.counts, q, self.max)
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "count": self.total,
@@ -175,6 +249,37 @@ class Histogram(InlineState):
             "bounds": list(self.bounds),
             "counts": list(self.counts),
         }
+
+
+def percentile_from_buckets(
+    bounds: Tuple[float, ...],
+    counts: List[int],
+    q: float,
+    observed_max: float,
+) -> float:
+    """Shared bucket-quantile kernel for Histogram and windowed deltas.
+
+    ``counts`` has ``len(bounds) + 1`` entries; the last bucket is
+    open-ended and interpolates toward ``observed_max``.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        previous = cumulative
+        cumulative += count
+        if cumulative >= target:
+            lo = bounds[index - 1] if index > 0 else 0.0
+            hi = bounds[index] if index < len(bounds) else observed_max
+            if hi < lo:
+                hi = lo
+            fraction = (target - previous) / count if count else 0.0
+            return lo + (hi - lo) * fraction
+    return observed_max
 
 
 def _key(name: str, labels: Dict[str, Any]) -> str:
@@ -188,17 +293,25 @@ class MetricSet(InlineState):
     """A named bag of counters, gauges, and histograms for one run."""
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, TimeWeightedGauge] = {}
+        self._counters: Dict[str, CounterLike] = {}
+        self._gauges: Dict[str, GaugeLike] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # -- counters -------------------------------------------------------
-    def counter(self, name: str, **labels: Any) -> Counter:
+    def counter(self, name: str, **labels: Any) -> CounterLike:
         key = _key(name, labels)
         counter = self._counters.get(key)
         if counter is None:
             counter = self._counters[key] = Counter()
         return counter
+
+    def register_counter(
+        self, name: str, supplier: Callable[[], int], **labels: Any
+    ) -> CounterView:
+        """Register a live read-only view over a component-owned count."""
+        view = CounterView(supplier)
+        self._counters[_key(name, labels)] = view
+        return view
 
     def add(self, name: str, amount: int = 1, **labels: Any) -> None:
         self.counter(name, **labels).add(amount)
@@ -213,14 +326,22 @@ class MetricSet(InlineState):
         gauge = self._gauges.get(key)
         if gauge is None:
             gauge = self._gauges[key] = TimeWeightedGauge(start_time=now)
+        if not isinstance(gauge, TimeWeightedGauge):
+            raise TypeError(f"{key} is a read-only gauge view")
         return gauge
 
-    def register_gauge(
-        self, name: str, gauge: TimeWeightedGauge, **labels: Any
-    ) -> TimeWeightedGauge:
+    def register_gauge(self, name: str, gauge: GaugeLike, **labels: Any) -> GaugeLike:
         """Adopt a live gauge owned by a component (shared reference)."""
         self._gauges[_key(name, labels)] = gauge
         return gauge
+
+    def register_gauge_view(
+        self, name: str, supplier: Callable[[], float], **labels: Any
+    ) -> GaugeView:
+        """Register a live read-only gauge over a component-owned value."""
+        view = GaugeView(supplier)
+        self._gauges[_key(name, labels)] = view
+        return view
 
     # -- histograms -----------------------------------------------------
     def histogram(
@@ -273,11 +394,18 @@ class MetricSet(InlineState):
             mine = self._counters.get(key)
             if mine is None:
                 mine = self._counters[key] = Counter()
+            # Reading other's value works for owned counters and live
+            # views alike; merging *into* a view raises (views mirror a
+            # component, they are not aggregation targets).
             mine.add(counter.value)
         for key, gauge in other._gauges.items():
+            if isinstance(gauge, GaugeView):
+                raise TypeError(f"cannot merge live gauge view {key}")
             mine_gauge = self._gauges.get(key)
             if mine_gauge is None:
                 mine_gauge = self._gauges[key] = TimeWeightedGauge()
+            if isinstance(mine_gauge, GaugeView):
+                raise TypeError(f"cannot merge into live gauge view {key}")
             mine_gauge.merge(gauge)
         for key, histogram in other._histograms.items():
             mine_hist = self._histograms.get(key)

@@ -41,6 +41,23 @@ SMOKE_SEEDS = (1,)
 
 DEFAULT_OUTPUT = "BENCH_sim.json"
 
+#: Git-tracked perf ledger: one JSONL entry per full bench run, so the
+#: repo's own history carries kernel trend lines across PRs instead of
+#: only the single latest committed report.
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+HISTORY_SCHEMA = "raidp-bench-history-v1"
+
+#: Kernels surfaced in the bench-check trend table (headline rates plus
+#: the two disabled-path ratios the budgets gate).
+_TREND_KEYS = (
+    "event_loop_events_per_sec",
+    "write_path_blocks_per_sec",
+    "table2_rows_per_sec",
+    "audit_checks_per_sec",
+    "profile_overhead",
+    "sampler_overhead",
+)
+
 
 # ----------------------------------------------------------------------
 # Kernel microbenchmarks.
@@ -248,6 +265,80 @@ def bench_profile_overhead(repeats: int = 5) -> Dict[str, float]:
     }
 
 
+def bench_sampler_overhead(repeats: int = 5) -> Dict[str, float]:
+    """Cost of the *disabled* flight-recorder path on the write path.
+
+    Same promise and same measurement shape as
+    :func:`bench_profile_overhead`: ``Simulator.run()`` checks the bound
+    sampler once per call, so a run with no sampler (or a muted one)
+    must pay nothing.  Interleaved best-of-each-side, reported as a
+    slowdown ratio (1.0 = free), gated at :data:`MAX_SAMPLER_OVERHEAD`
+    by ``bench-check``.
+    """
+    from repro.obs.timeseries import Sampler
+    from repro.obs.timeseries import capture as ts_capture
+
+    muted = Sampler()
+    muted.enabled = False
+    plain = 0.0
+    with_muted = 0.0
+    for _ in range(repeats):
+        gc.collect()
+        plain = max(plain, _write_path_once())
+        gc.collect()
+        with ts_capture(muted):
+            with_muted = max(with_muted, _write_path_once())
+    return {
+        "sampler_overhead": plain / with_muted if with_muted else float("inf"),
+    }
+
+
+def bench_audit_checks(audits: int = 64) -> Dict[str, float]:
+    """Redundancy-auditor throughput (individual checks/second).
+
+    Runs the sample-point tier (replication coherence, flow
+    conservation, disk-state sanity) repeatedly over a quiescent 8-node
+    cluster with data on every node -- the work the flight recorder adds
+    per sample tick when auditing is on.  A violation here is a bug in
+    either the cluster or the auditor, so the kernel refuses to report a
+    rate for a failing audit.
+    """
+    from repro.core.cluster import RaidpCluster
+    from repro.hdfs.config import DfsConfig
+    from repro.obs.audit import Auditor
+    from repro.sim.cluster import ClusterSpec
+
+    dfs = RaidpCluster(
+        spec=ClusterSpec(num_nodes=8),
+        config=DfsConfig(block_size=units.MiB, replication=2),
+        superchunk_size=4 * units.MiB,
+        payload_mode="tokens",
+        seed=1,
+    )
+
+    def workload():
+        for index, client in enumerate(dfs.clients):
+            yield from client.write_file(f"/audit/f{index}", 4 * units.MiB)
+
+    dfs.sim.run_process(workload())
+    auditor = Auditor()
+    auditor.attach(dfs)
+    start = time.perf_counter()
+    for _ in range(audits):
+        auditor.audit(dfs.sim, dfs.sim.now, event="sample")
+    elapsed = time.perf_counter() - start
+    if auditor.violations:
+        raise RuntimeError(
+            f"audit kernel found violations: "
+            f"{[v.as_dict() for v in auditor.violations[:3]]}"
+        )
+    return {
+        "audit_checks_per_sec": (
+            auditor.checks_run / elapsed if elapsed else float("inf")
+        ),
+    }
+
+
 def bench_table2_rows() -> Dict[str, float]:
     """Throughput of the table2 task pipeline (logical rows/second).
 
@@ -359,6 +450,8 @@ def bench_kernels() -> Dict[str, float]:
         bench_trace_events,
         bench_write_path,
         bench_profile_overhead,
+        bench_sampler_overhead,
+        bench_audit_checks,
         bench_table2_rows,
         bench_snapshot_restore,
         bench_lint,
@@ -370,6 +463,67 @@ def bench_kernels() -> Dict[str, float]:
 
 
 # ----------------------------------------------------------------------
+# The perf-history ledger.
+# ----------------------------------------------------------------------
+def append_history(report: Dict, path: str = DEFAULT_HISTORY) -> None:
+    """Append one schema-versioned ledger entry for a finished bench run."""
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "generated": report.get("generated"),
+        "host": report.get("host", {}),
+        "kernels": report.get("kernels", {}),
+        "experiments": {
+            name: timing.get("seconds")
+            for name, timing in (report.get("experiments") or {}).items()
+        },
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(path: str = DEFAULT_HISTORY) -> List[Dict]:
+    """All ledger entries (skipping unknown schemas), oldest first."""
+    entries: List[Dict] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                if entry.get("schema") == HISTORY_SCHEMA:
+                    entries.append(entry)
+    except FileNotFoundError:
+        pass
+    return entries
+
+
+def print_history_trend(path: str = DEFAULT_HISTORY, last: int = 5) -> None:
+    """The last-N kernel trend table ``bench-check`` prints.
+
+    Informational only: cross-host entries are not comparable in
+    absolute terms, so the table labels each entry with its timestamp
+    and leaves judgement to the reader (the gates above are what fail
+    the build).
+    """
+    entries = load_history(path)[-last:]
+    if not entries:
+        print(f"  (no perf history at {path})")
+        return
+    print(f"perf history (last {len(entries)} of {path}):")
+    header = f"  {'generated':<26}" + "".join(
+        f"{key.replace('_per_sec', '/s'):>22}" for key in _TREND_KEYS
+    )
+    print(header)
+    for entry in entries:
+        cells = []
+        for key in _TREND_KEYS:
+            value = (entry.get("kernels") or {}).get(key)
+            cells.append(f"{value:>22,.2f}" if value is not None else f"{'-':>22}")
+        print(f"  {str(entry.get('generated', '?')):<26}" + "".join(cells))
+
+
+# ----------------------------------------------------------------------
 # Regression check against the committed report.
 # ----------------------------------------------------------------------
 #: Kernel metrics exempt from the throughput floor (pure ratios are
@@ -378,6 +532,7 @@ _RATIO_KEYS = {
     "net_solver_speedup",
     "write_path_trace_slowdown",
     "profile_overhead",
+    "sampler_overhead",
 }
 
 #: The incremental solver must stay this much faster than the reference.
@@ -397,6 +552,11 @@ MAX_WRITE_PATH_SHORTFALL = 1.08
 #: interleaves and keeps the best of each side, so the ratio is already
 #: noise-cancelled; no extra headroom is added.
 MAX_PROFILE_OVERHEAD = 1.01
+
+#: Same budget for the disabled flight-recorder sampler: the engine
+#: checks the bound sampler once per run(), never per event, so the
+#: write path with a muted sampler must match the plain path to 1%.
+MAX_SAMPLER_OVERHEAD = 1.01
 
 #: Event-core floors locked in when the calendar-queue scheduler and
 #: warmup memoization landed: the event-loop dispatch rate (1.5x the
@@ -512,6 +672,28 @@ def check_report(path: str, tolerance: float) -> int:
                 f"profile_overhead {overhead:.4f}x > {MAX_PROFILE_OVERHEAD}x "
                 "(disabled-profiler path must be free on the write path)"
             )
+    # And the same 1% budget for the disabled flight-recorder sampler.
+    sampler_ratio = current.get("sampler_overhead")
+    if sampler_ratio is None:
+        failures.append("current run lacks sampler_overhead")
+    else:
+        for _ in range(2):
+            if sampler_ratio <= MAX_SAMPLER_OVERHEAD:
+                break
+            gc.collect()
+            sampler_ratio = min(
+                sampler_ratio, bench_sampler_overhead()["sampler_overhead"]
+            )
+        status = "ok" if sampler_ratio <= MAX_SAMPLER_OVERHEAD else "REGRESSION"
+        print(
+            f"  sampler_overhead                     {sampler_ratio:>14.4f}x  "
+            f"(budget {MAX_SAMPLER_OVERHEAD}x) {status}"
+        )
+        if sampler_ratio > MAX_SAMPLER_OVERHEAD:
+            failures.append(
+                f"sampler_overhead {sampler_ratio:.4f}x > {MAX_SAMPLER_OVERHEAD}x "
+                "(disabled-sampler path must be free on the write path)"
+            )
     # Event-core floors (same retry-keep-best rationale as the write
     # path: a shared host only slows a kernel down, never speeds it up).
     if _hosts_match(committed, os.cpu_count()):
@@ -535,6 +717,7 @@ def check_report(path: str, tolerance: float) -> int:
     else:
         print("  event-core floors                    (skipped: report from a different host)")
     _experiment_delta_table(committed, current)
+    print_history_trend()
     if failures:
         print("bench-check FAILED:")
         for failure in failures:
@@ -777,6 +960,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
     print(f"wrote {args.output}")
+    # Full runs extend the git-tracked ledger; ad-hoc runs aimed at a
+    # different --output (scratch comparisons) stay out of the history.
+    if args.output == DEFAULT_OUTPUT:
+        append_history(report)
+        print(f"appended {DEFAULT_HISTORY}")
     return 0
 
 

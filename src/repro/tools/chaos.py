@@ -28,6 +28,7 @@ Run it from the shell (the ``make chaos`` target does exactly this)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import sys
@@ -40,6 +41,10 @@ from repro.core.monitor import ClusterMonitor, MonitorConfig
 from repro.errors import ReproError
 from repro.faults import FaultInjector, FaultSchedule, chaos_schedule
 from repro.hdfs.config import DfsConfig
+from repro.obs import audit as audit_mod
+from repro.obs import timeseries as ts_mod
+from repro.obs.metrics import cluster_metrics
+from repro.obs.slo import health_report, render_dash, write_health_report
 from repro.sim.cluster import ClusterSpec
 from repro.workloads.driver import workload_body
 from repro.workloads.terasort import terasort_tasks
@@ -65,12 +70,18 @@ RESTART_DELAY = 4.0
 
 @dataclasses.dataclass
 class ChaosResult:
-    """Outcome of one soak run."""
+    """Outcome of one soak run.
+
+    ``health`` (present only on flight-recorder runs) rides *outside*
+    the fingerprint: sampled and unsampled runs must stay bit-identical
+    on ``fingerprint``, which the determinism tests compare.
+    """
 
     seed: int
     ok: bool
     problems: List[str]
     fingerprint: Dict
+    health: Optional[Dict] = None
 
     def summary(self) -> str:
         fp = self.fingerprint
@@ -384,6 +395,40 @@ def _verify_lifecycle(
 
 
 # ----------------------------------------------------------------------
+# Flight-recorder plumbing.
+# ----------------------------------------------------------------------
+def _fault_recovery_span(
+    monitor: ClusterMonitor, injector: FaultInjector, final_time: float
+) -> Optional[Tuple[float, float]]:
+    """First injection -> last recovery-completion/rejoin, or None when
+    nothing was injected.  Replication-state violations inside this span
+    are expected (detection lag, in-flight remirroring) and get waived;
+    anything outside it -- in particular at the final deep audit -- is a
+    real finding."""
+    starts = [record.at for record in injector.injected]
+    if not starts:
+        return None
+    start = min(starts)
+    ends = list(monitor.report_times) + [t for t, _ in monitor.rejoined]
+    end = max(ends) if ends else final_time
+    return (start, max(start, end))
+
+
+def _chaos_phases(
+    span: Optional[Tuple[float, float]], final_time: float
+) -> List[Tuple[str, float, float]]:
+    """The health-report windows: pre-fault / fault / recovery / drain."""
+    fault_start, fault_end = FAULT_WINDOW
+    recovery_end = fault_end if span is None else max(span[1], fault_end)
+    return [
+        ("pre-fault", 0.0, fault_start),
+        ("fault", fault_start, fault_end),
+        ("recovery", fault_end, recovery_end),
+        ("drain", recovery_end, final_time),
+    ]
+
+
+# ----------------------------------------------------------------------
 # One soak run.
 # ----------------------------------------------------------------------
 def build_cluster(seed: int) -> RaidpCluster:
@@ -416,40 +461,82 @@ def run_chaos(
     node_crashes: int = 1,
     nic_degrades: int = 1,
     lstor_losses: int = 1,
+    sample_interval: Optional[float] = None,
+    audit: bool = False,
+    sampler: Optional[ts_mod.Sampler] = None,
+    auditor: Optional[audit_mod.Auditor] = None,
 ) -> ChaosResult:
     """Run one soak; returns the pass/fail verdict and the run's
-    deterministic history fingerprint."""
-    dfs = build_cluster(seed)
-    if schedule is None:
-        schedule = chaos_schedule(
-            dfs,
-            seed,
-            window=FAULT_WINDOW,
-            singles=singles,
-            doubles=doubles,
-            node_crashes=node_crashes,
-            nic_degrades=nic_degrades,
-            lstor_losses=lstor_losses,
-            restart_delay=RESTART_DELAY,
-        )
-    monitor = ClusterMonitor(
-        dfs,
-        MonitorConfig(heartbeat_interval=0.5, dead_after=2.0, sweep_interval=0.5),
-    )
-    injector = FaultInjector(dfs, schedule, monitor=monitor)
+    deterministic history fingerprint.
 
-    skipped = [0]
-    monitor.start()
-    injector.start()
-    traffic = dfs.sim.process(_traffic(dfs, skipped), name="chaos-traffic")
-    dfs.sim.run(until=HORIZON)
-    problems: List[str] = []
-    if not traffic.triggered:
-        problems.append("traffic did not finish before the horizon")
-    if not injector.done:
-        problems.append("fault schedule did not finish before the horizon")
-    monitor.stop()
-    dfs.sim.run()  # drain the heartbeat/detector loops
+    ``sample_interval`` turns on the flight recorder (time-series
+    telemetry at that simulated-second cadence); ``audit`` turns on the
+    redundancy invariant auditor (checked at sample points when sampling
+    is also on, and always at detection/recovery/final).  Both are
+    observer-only: the fingerprint is bit-identical either way.  A
+    caller may instead pass pre-built ``sampler``/``auditor`` objects
+    (the CLI does, so it can export them afterwards).
+    """
+    if sampler is None and sample_interval is not None:
+        sampler = ts_mod.Sampler(interval=sample_interval)
+    if auditor is None and audit:
+        auditor = audit_mod.Auditor(fail_fast=False)
+    with contextlib.ExitStack() as stack:
+        if sampler is not None:
+            stack.enter_context(ts_mod.capture(sampler))
+        if auditor is not None:
+            stack.enter_context(audit_mod.capture(auditor))
+        # The sampler must be active *before* the Simulator is built --
+        # the engine binds it at construction time.
+        dfs = build_cluster(seed)
+        if schedule is None:
+            schedule = chaos_schedule(
+                dfs,
+                seed,
+                window=FAULT_WINDOW,
+                singles=singles,
+                doubles=doubles,
+                node_crashes=node_crashes,
+                nic_degrades=nic_degrades,
+                lstor_losses=lstor_losses,
+                restart_delay=RESTART_DELAY,
+            )
+        monitor = ClusterMonitor(
+            dfs,
+            MonitorConfig(heartbeat_interval=0.5, dead_after=2.0, sweep_interval=0.5),
+        )
+        injector = FaultInjector(dfs, schedule, monitor=monitor)
+        if auditor is not None:
+            auditor.attach(dfs, monitor=monitor)
+        if sampler is not None:
+            sampler.watch(cluster_metrics(dfs, monitor=monitor))
+            if auditor is not None:
+                sampler.on_sample(auditor.on_sample)
+
+        skipped = [0]
+        monitor.start()
+        injector.start()
+        traffic = dfs.sim.process(_traffic(dfs, skipped), name="chaos-traffic")
+        dfs.sim.run(until=HORIZON)
+        problems: List[str] = []
+        if not traffic.triggered:
+            problems.append("traffic did not finish before the horizon")
+        if not injector.done:
+            problems.append("fault schedule did not finish before the horizon")
+        monitor.stop()
+        dfs.sim.run()  # drain the heartbeat/detector loops
+
+        span = _fault_recovery_span(monitor, injector, dfs.sim.now)
+        if auditor is not None:
+            auditor.audit(dfs.sim, dfs.sim.now, event="final")
+            if span is not None:
+                auditor.waive_between(
+                    [span],
+                    "detection-lag: replication state is expected to be "
+                    "degraded between injection and recovery completion",
+                )
+            for violation in auditor.unwaived():
+                problems.append(f"audit: {violation.as_dict()}")
 
     # ------------------------------------------------------------------
     # Post-mortem verification.
@@ -504,8 +591,18 @@ def run_chaos(
         "network_bytes": dfs.total_network_bytes(),
         "timeline": recovery_timeline(monitor, injector),
     }
+    health: Optional[Dict] = None
+    if sampler is not None:
+        health = health_report(
+            sampler,
+            auditor=auditor,
+            phases=_chaos_phases(span, fingerprint["final_time"]),
+            title=f"chaos seed={seed}",
+            run=sampler.run,
+        )
     return ChaosResult(
-        seed=seed, ok=not problems, problems=problems, fingerprint=fingerprint
+        seed=seed, ok=not problems, problems=problems, fingerprint=fingerprint,
+        health=health,
     )
 
 
@@ -553,18 +650,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="record a simulation trace of the soak (same formats as the "
         "experiment runner's --trace)",
     )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="turn on flight-recorder telemetry at this simulated-time "
+        "cadence (implied at 0.5s by --health/--timeseries)",
+    )
+    parser.add_argument(
+        "--health",
+        metavar="PATH",
+        default=None,
+        help="write the run's health report (SLO verdicts, per-phase "
+        "latency series, audit summary) as JSON; implies sampling + audit",
+    )
+    parser.add_argument(
+        "--timeseries",
+        metavar="PATH",
+        default=None,
+        help="export the sampled time series as JSONL; implies sampling",
+    )
+    parser.add_argument(
+        "--dash",
+        action="store_true",
+        help="render the health report to the terminal (implies --health "
+        "plumbing; raidpctl dash renders saved reports)",
+    )
     options = parser.parse_args(argv)
+
+    want_health = options.health is not None or options.dash
+    interval = options.sample_interval
+    if interval is None and (want_health or options.timeseries):
+        interval = ts_mod.DEFAULT_INTERVAL
+    recorder_kwargs: Dict = {}
+    sampler: Optional[ts_mod.Sampler] = None
+    if interval is not None:
+        sampler = ts_mod.Sampler(interval=interval)
+        recorder_kwargs["sampler"] = sampler
+    if want_health or sampler is not None:
+        recorder_kwargs["auditor"] = audit_mod.Auditor(fail_fast=False)
 
     if options.trace:
         from repro.obs.export import write_trace
         from repro.obs.tracer import Tracer, capture
 
         with capture(Tracer()) as tracer:
-            result = run_repeated(options.seed, runs=max(1, options.runs))
+            result = run_repeated(
+                options.seed, runs=max(1, options.runs), **recorder_kwargs
+            )
         count = write_trace(tracer, options.trace)
         print(f"trace: {count} events -> {options.trace}")
     else:
-        result = run_repeated(options.seed, runs=max(1, options.runs))
+        result = run_repeated(
+            options.seed, runs=max(1, options.runs), **recorder_kwargs
+        )
+    if sampler is not None and options.timeseries:
+        lines = ts_mod.write_timeseries(sampler, options.timeseries)
+        print(f"timeseries: {lines} lines -> {options.timeseries}")
+    if result.health is not None and options.health:
+        write_health_report(result.health, options.health)
+        print(f"health: report -> {options.health}")
+    if result.health is not None and options.dash:
+        print(render_dash(result.health))
     print(result.summary())
     if options.timeline:
         print(result.render_timeline())

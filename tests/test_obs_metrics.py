@@ -65,6 +65,36 @@ def test_snapshot_reflects_workload_activity(loaded_cluster):
     )
 
 
+def test_counter_views_track_later_activity_without_reregistration(loaded_cluster):
+    """Regression: counters must be live views, not registration-time copies.
+
+    An earlier registry design snapshotted component counts into owned
+    Counters at build time, so any registry built before a workload (the
+    sampler's situation) reported zeros forever.
+    """
+    dfs = loaded_cluster
+    metrics = cluster_metrics(dfs)
+    before = metrics.get("net_bytes_total")
+
+    def more_work():
+        yield from dfs.clients[0].write_file("/m/live-view-extra", units.MiB)
+
+    dfs.sim.run_process(more_work())
+    after = metrics.get("net_bytes_total")
+    assert after > before
+    assert after == dfs.total_network_bytes()
+    # The view itself refuses mutation: the component owns the count.
+    view = metrics._counters["net_bytes_total"]
+    with pytest.raises(TypeError, match="read-only"):
+        view.add(1)
+    # Live gauge views are per-component mirrors, not aggregation
+    # targets; folding them into another registry must fail loudly.
+    from repro.sim.stats import MetricSet
+
+    with pytest.raises(TypeError, match="live gauge view"):
+        MetricSet().merge(metrics)
+
+
 def test_registry_is_live_not_a_copy(loaded_cluster):
     dfs = loaded_cluster
     metrics = cluster_metrics(dfs)
