@@ -10,9 +10,12 @@ export PYTHONPATH
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Determinism & invariant linter (rules RDP001..RDP006; see DESIGN.md §10).
+# Determinism & invariant linter (rules RDP001..RDP007 plus the
+# flow-sensitive RDP101..RDP105; see DESIGN.md §10 and §14).  --strict
+# promotes warnings to failures; the incremental cache under
+# .lint-cache/ makes warm runs near-instant (use --no-cache to bypass).
 lint:
-	$(PYTHON) -m repro.lint src/
+	$(PYTHON) -m repro.lint --strict src/
 
 # Strict typing gate (config in pyproject.toml).  mypy is a CI-installed
 # dev dependency; locally the target degrades to a visible skip rather

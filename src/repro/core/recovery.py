@@ -774,19 +774,25 @@ class RecoveryManager:
                 xor_time = run / options.xor_rate
                 if options.lock_mode == "superchunk":
                     grant = yield lock_whole.request()
-                    yield self.sim.sleep(options.lock_overhead + xor_time)
-                    lock_whole.release(grant)
+                    try:
+                        yield self.sim.sleep(options.lock_overhead + xor_time)
+                    finally:
+                        lock_whole.release(grant)
                 else:
                     grant = yield lock_ranges.acquire(offset, offset + run)
-                    bus_share = options.streaming_bus_share if streaming else 0.0
-                    yield self.sim.sleep(
-                        options.lock_overhead + (1.0 - bus_share) * xor_time
-                    )
-                    if bus_share > 0.0:
-                        bus_grant = yield memory_bus.request()
-                        yield self.sim.sleep(bus_share * xor_time)
-                        memory_bus.release(bus_grant)
-                    lock_ranges.release(grant)
+                    try:
+                        bus_share = options.streaming_bus_share if streaming else 0.0
+                        yield self.sim.sleep(
+                            options.lock_overhead + (1.0 - bus_share) * xor_time
+                        )
+                        if bus_share > 0.0:
+                            bus_grant = yield memory_bus.request()
+                            try:
+                                yield self.sim.sleep(bus_share * xor_time)
+                            finally:
+                                memory_bus.release(bus_grant)
+                    finally:
+                        lock_ranges.release(grant)
                 offset += run
             return None
 

@@ -53,7 +53,7 @@ def build_hdfs(replication: int, scale: Scale, seed: int) -> HdfsCluster:
     )
 
 
-def build_raidp(scale: Scale, seed: int, **raidp_kwargs) -> RaidpCluster:
+def build_raidp(scale: Scale, seed: int, **raidp_kwargs: Any) -> RaidpCluster:
     return RaidpCluster(
         spec=ClusterSpec(num_nodes=scale.num_nodes),
         config=DfsConfig(replication=2),
@@ -64,7 +64,7 @@ def build_raidp(scale: Scale, seed: int, **raidp_kwargs) -> RaidpCluster:
     )
 
 
-def build_raidp_warm(scale: Scale, seed: int, **raidp_kwargs) -> RaidpCluster:
+def build_raidp_warm(scale: Scale, seed: int, **raidp_kwargs: Any) -> RaidpCluster:
     """Snapshot-backed :func:`build_raidp`.
 
     Returns a fresh restored copy per call; the underlying build runs at

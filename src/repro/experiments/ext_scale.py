@@ -17,7 +17,7 @@ rebuild-the-world allocator was O(flows^2) per arrival.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import units
 from repro.core.cluster import RaidpCluster
@@ -92,7 +92,7 @@ def task_cost(key: TaskKey) -> float:
     return max(1.0, num_nodes / 16.0)
 
 
-def _build(scheme: str, num_nodes: int, seed: int):
+def _build(scheme: str, num_nodes: int, seed: int) -> Any:
     spec = ClusterSpec(num_nodes=num_nodes)
     if scheme == "hdfs3":
         return HdfsCluster(
@@ -133,7 +133,7 @@ def _recover_worst_pair(dfs: RaidpCluster) -> float:
     return report.duration
 
 
-def _phase_slo(sampler) -> Dict[str, float]:
+def _phase_slo(sampler: Any) -> Dict[str, float]:
     """Small, picklable SLO digest of one sampled phase.
 
     Scores the default disk-latency specs over this run's window and

@@ -9,6 +9,8 @@ should shrink toward the pure transfer-count ratios.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro import units
 from repro.core.cluster import RaidpCluster
 from repro.core.node import RaidpConfig
@@ -30,7 +32,7 @@ CONFIGS = [
 ]
 
 
-def _family(geometry: DiskGeometry, scale: Scale, dataset: int):
+def _family(geometry: DiskGeometry, scale: Scale, dataset: int) -> Dict[str, float]:
     spec = ClusterSpec(num_nodes=scale.num_nodes, disk_geometry=geometry)
     hdfs = HdfsCluster(
         spec=spec, config=DfsConfig(replication=3), payload_mode="tokens", seed=1

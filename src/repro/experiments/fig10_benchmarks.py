@@ -11,7 +11,7 @@ replication dominates.
 from __future__ import annotations
 
 from repro.sim.stats import mean
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     DEFAULT_SEEDS,
@@ -53,8 +53,8 @@ def tasks(full_scale: bool = False, seeds: Sequence[int] = DEFAULT_SEEDS) -> Lis
 
 
 def _warm_generated(
-    system: str, warmup_name: str, warmup, scale: Scale, seed: int
-):
+    system: str, warmup_name: str, warmup: Any, scale: Scale, seed: int
+) -> Any:
     """A cluster restored at the boundary after ``warmup`` ran on it."""
     builder = (
         (lambda: build_hdfs(3, scale, seed))
@@ -141,7 +141,9 @@ def merge(
 
 
 def run(
-    full_scale: bool = False, seeds=DEFAULT_SEEDS, jobs: Optional[int] = None
+    full_scale: bool = False,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     keyed = fan_out(__name__, full_scale=full_scale, seeds=seeds, jobs=jobs)
     return merge(keyed, full_scale=full_scale, seeds=seeds)

@@ -87,7 +87,9 @@ def merge(
 
 
 def run(
-    full_scale: bool = False, seeds=DEFAULT_SEEDS, jobs: Optional[int] = None
+    full_scale: bool = False,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     keyed = fan_out(__name__, full_scale=full_scale, seeds=seeds, jobs=jobs)
     return merge(keyed, full_scale=full_scale, seeds=seeds)

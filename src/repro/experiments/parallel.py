@@ -48,6 +48,7 @@ import os
 import threading
 from typing import (
     Any,
+    Callable,
     Dict,
     Hashable,
     List,
@@ -212,7 +213,9 @@ def _run_pooled(plan: _Plan, workers: int) -> List[Any]:
     completed: List[Tuple[int, Any]] = []
     failures: List[BaseException] = []
 
-    def _make_callbacks(index: int):
+    def _make_callbacks(
+        index: int,
+    ) -> Tuple[Callable[[Any], None], Callable[[BaseException], None]]:
         def on_done(value: Any) -> None:
             with condition:
                 completed.append((index, value))

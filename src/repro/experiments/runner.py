@@ -6,7 +6,7 @@ import argparse
 import importlib
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -81,7 +81,7 @@ def get_experiment(name: str) -> Callable:
     return module.run
 
 
-def run_experiment(name: str, **kwargs) -> "ExperimentResult":
+def run_experiment(name: str, **kwargs: Any) -> "ExperimentResult":
     return get_experiment(name)(**kwargs)
 
 

@@ -1,0 +1,103 @@
+"""Reviewed-baseline support: accept known findings, flag everything new.
+
+A baseline is a reviewed snapshot of findings the team has decided to
+tolerate for now.  Each finding gets a *fingerprint* that survives
+unrelated edits: it hashes the path, rule id, message, and an occurrence
+counter -- **not** the line number, so inserting a docstring above a
+tolerated finding does not resurrect it, while a genuinely new instance
+of the same (path, rule, message) gets occurrence ``n+1`` and fails the
+gate.  The same fingerprints ride in the SARIF ``partialFingerprints``
+so code-scanning identity matches the local gate.
+
+The file format is deliberately reviewable in diffs::
+
+    {
+      "schema": 1,
+      "fingerprints": {"<hex>": "path:line: RULE message", ...}
+    }
+
+The value is a human-readable hint only; matching uses the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from .engine import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "fingerprint_findings",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint_findings(
+    findings: List[Finding],
+) -> Iterator[Tuple[Finding, str]]:
+    """Each finding with its stable fingerprint, input order preserved."""
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = (finding.path, finding.rule, finding.message)
+        n = occurrence.get(key, 0)
+        occurrence[key] = n + 1
+        digest = hashlib.sha256(
+            f"{finding.path}\x00{finding.rule}\x00{finding.message}\x00{n}".encode(
+                "utf-8"
+            )
+        ).hexdigest()[:20]
+        yield finding, digest
+
+
+def write_baseline(findings: List[Finding], path: str) -> int:
+    """Write the reviewed baseline; returns the number of entries."""
+    fingerprints = {
+        digest: f"{finding.path}:{finding.line}: {finding.rule} {finding.message}"
+        for finding, digest in fingerprint_findings(findings)
+    }
+    payload = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(fingerprints)
+
+
+def load_baseline(path: str) -> Dict[str, str]:
+    """fingerprint -> hint; a missing file is an empty baseline."""
+    file = Path(path)
+    if not file.exists():
+        return {}
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    if payload.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema {payload.get('schema')!r}; "
+            f"this tool reads schema {BASELINE_SCHEMA_VERSION}"
+        )
+    fingerprints = payload.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"baseline {path}: 'fingerprints' must be an object")
+    return fingerprints
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, str]
+) -> Tuple[List[Finding], int]:
+    """(findings not in the baseline, count of baselined ones)."""
+    if not baseline:
+        return findings, 0
+    kept: List[Finding] = []
+    matched = 0
+    for finding, digest in fingerprint_findings(findings):
+        if digest in baseline:
+            matched += 1
+        else:
+            kept.append(finding)
+    return kept, matched

@@ -1,0 +1,118 @@
+"""Incremental lint cache: skip re-analysis of unchanged files.
+
+The CFG/dataflow rules made linting meaningfully heavier than the flat
+AST walks, and ``make lint`` runs on every verify.  The cache keys each
+file's findings on
+
+* the file's **content hash** (not mtime -- checkouts and branch
+  switches churn mtimes),
+* the **ruleset version** -- a digest over the linter's own sources plus
+  the trace taxonomy, so editing any rule, the engine, or the CFG
+  machinery invalidates everything, and
+* the **run configuration** (select/ignore/allowlists), so a
+  ``--select RDP101`` run never serves findings to a full run.
+
+Entries are one JSON file per source path under ``.lint-cache/``; a
+corrupt or stale entry is treated as a miss, never an error.  The cache
+stores findings *before* baseline filtering, so baselines can change
+without invalidating it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import Finding
+
+__all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "LintCache", "ruleset_version"]
+
+CACHE_SCHEMA_VERSION = 1
+DEFAULT_CACHE_DIR = ".lint-cache"
+
+_FINDING_FIELDS = ("path", "line", "col", "rule", "severity", "message")
+
+
+def ruleset_version() -> str:
+    """A digest of the linter's own implementation.
+
+    Any edit to the lint package (rules, engine, CFG, dataflow, this
+    module) or to the trace taxonomy the RDP004 rule reads changes the
+    version and invalidates every cache entry.
+    """
+    package_dir = Path(__file__).resolve().parent
+    parts: List[str] = []
+    for source in sorted(package_dir.glob("*.py")):
+        digest = hashlib.sha256(source.read_bytes()).hexdigest()
+        parts.append(f"{source.name}:{digest}")
+    taxonomy = package_dir.parent / "obs" / "taxonomy.py"
+    if taxonomy.exists():
+        parts.append(f"taxonomy:{hashlib.sha256(taxonomy.read_bytes()).hexdigest()}")
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+class LintCache:
+    """Per-file findings cache under ``directory``.
+
+    ``config_key`` is an opaque string describing the run configuration;
+    the engine passes a canonical rendering of select/ignore/allowlists.
+    """
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR, config_key: str = "") -> None:
+        self.directory = Path(directory)
+        self._version = ruleset_version()
+        self._config_key = config_key
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ------------------------------------------------------------
+    def _entry_path(self, path: str) -> Path:
+        name = hashlib.sha256(path.encode("utf-8")).hexdigest()[:24]
+        return self.directory / f"{name}.json"
+
+    def _key(self, source: str) -> str:
+        content = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return f"{content}|{self._version}|{self._config_key}"
+
+    # -- lookups ---------------------------------------------------------
+    def get(self, path: str, source: str) -> Optional[List[Finding]]:
+        entry = self._entry_path(path)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("key") != self._key(source)
+        ):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(**{field: item[field] for field in _FINDING_FIELDS})
+                for item in payload["findings"]
+            ]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, path: str, source: str, findings: List[Finding]) -> None:
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "path": path,
+            "key": self._key(source),
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            entry = self._entry_path(path)
+            tmp = entry.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.replace(entry)
+        except OSError:  # pragma: no cover - cache is best-effort
+            pass

@@ -1,0 +1,216 @@
+"""A module-level call graph with generator-process classification.
+
+The RDP1xx rules are mostly intraprocedural (one CFG at a time), but
+two questions need the module view:
+
+* *Which functions are simulation processes?*  A generator function
+  (its own body yields) models a process; one whose instantiation is
+  passed to ``Simulator.process`` / ``run_process`` is a *process
+  entry point* -- the roots the yield-hazard rules care most about.
+* *Where do RNG streams flow?*  RDP103 checks call sites: a call that
+  binds a function's rng-ish parameter must pass a value traceable to
+  a seeded stream, which requires knowing callee signatures.
+
+Resolution is deliberately module-local and name-based: ``self.m(...)``
+inside class ``C`` resolves to ``C.m`` (walking module-local bases),
+``f(...)`` to a module-level ``f``, ``C(...)`` to ``C.__init__``, and
+anything else stays unresolved.  That covers the repo's idiom (flat
+modules, explicit imports) without pretending to be a type checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CallSite", "FunctionInfo", "ModuleCallGraph"]
+
+
+class CallSite:
+    """One call expression inside a function body."""
+
+    __slots__ = ("callee", "node", "resolved")
+
+    def __init__(self, callee: str, node: ast.Call, resolved: Optional[str]) -> None:
+        self.callee = callee  # dotted name as written ("self.m", "f", "C.m")
+        self.node = node
+        self.resolved = resolved  # qualname within this module, if known
+
+
+class FunctionInfo:
+    """Signature + body facts for one function in the module."""
+
+    __slots__ = ("qualname", "node", "cls", "params", "is_generator", "calls")
+
+    def __init__(
+        self,
+        qualname: str,
+        node: ast.AST,
+        cls: Optional[str],
+        params: List[str],
+        is_generator: bool,
+    ) -> None:
+        self.qualname = qualname
+        self.node = node
+        self.cls = cls  # enclosing class name, if a method
+        self.params = params  # in declaration order, self/cls included
+        self.is_generator = is_generator
+        self.calls: List[CallSite] = []
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def _own_body_yields(func: ast.AST) -> bool:
+    """True when the function's *own* body yields (nested defs opaque)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    found = False
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            found = True
+            break
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+class ModuleCallGraph:
+    """Functions, classes, edges, and process classification for a module."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ast.ClassDef] = {}
+        #: Module-local base classes, for method resolution up the chain.
+        self.bases: Dict[str, List[str]] = {}
+        #: Generator functions whose instantiation is handed to
+        #: ``*.process(...)`` / ``*.run_process(...)`` somewhere in the module.
+        self.process_entries: List[str] = []
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(cls, tree: ast.AST) -> "ModuleCallGraph":
+        graph = cls()
+        graph._collect(tree, prefix="", current_class=None)
+        for info in graph.functions.values():
+            graph._collect_calls(info)
+        graph._classify_processes()
+        return graph
+
+    def _collect(self, node: ast.AST, prefix: str, current_class: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                self.classes[child.name] = child
+                self.bases[child.name] = [
+                    base_name
+                    for base in child.bases
+                    if (base_name := _dotted(base)) is not None
+                ]
+                self._collect(child, prefix=f"{child.name}.", current_class=child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                args = child.args
+                params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+                if args.vararg:
+                    params.append(args.vararg.arg)
+                if args.kwarg:
+                    params.append(args.kwarg.arg)
+                self.functions[qualname] = FunctionInfo(
+                    qualname, child, current_class, params, _own_body_yields(child)
+                )
+                # Nested defs get their own entries (flattened qualname).
+                self._collect(child, prefix=f"{qualname}.", current_class=current_class)
+
+    def _collect_calls(self, info: FunctionInfo) -> None:
+        stack: List[ast.AST] = list(ast.iter_child_nodes(info.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested bodies have their own FunctionInfo
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is not None:
+                    info.calls.append(
+                        CallSite(dotted, node, self._resolve(dotted, info))
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+        info.calls.sort(key=lambda site: (site.node.lineno, site.node.col_offset))
+
+    def _resolve(self, dotted: str, caller: FunctionInfo) -> Optional[str]:
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            name = parts[0]
+            if name in self.functions:
+                return name
+            if name in self.classes:
+                return self._resolve_method(name, "__init__")
+            return None
+        if len(parts) == 2:
+            base, method = parts
+            if base in ("self", "cls") and caller.cls is not None:
+                return self._resolve_method(caller.cls, method)
+            if base in self.classes:
+                return self._resolve_method(base, method)
+        return None
+
+    def _resolve_method(self, class_name: str, method: str) -> Optional[str]:
+        seen = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            qualname = f"{current}.{method}"
+            if qualname in self.functions:
+                return qualname
+            queue.extend(
+                base for base in self.bases.get(current, []) if base in self.classes
+            )
+        return None
+
+    # -- classification -------------------------------------------------
+    _PROCESS_SPAWNERS = frozenset({"process", "run_process"})
+
+    def _classify_processes(self) -> None:
+        entries = []
+        for info in self.functions.values():
+            for site in info.calls:
+                method = site.callee.rsplit(".", 1)[-1]
+                if method not in self._PROCESS_SPAWNERS:
+                    continue
+                for arg in site.node.args:
+                    if not isinstance(arg, ast.Call):
+                        continue
+                    inner = _dotted(arg.func)
+                    if inner is None:
+                        continue
+                    resolved = self._resolve(inner, info)
+                    if resolved is not None and self.functions[resolved].is_generator:
+                        entries.append(resolved)
+        self.process_entries = sorted(set(entries))
+
+    # -- queries ---------------------------------------------------------
+    def generators(self) -> List[str]:
+        """Qualnames of all generator functions, sorted."""
+        return sorted(q for q, f in self.functions.items() if f.is_generator)
+
+    def callees(self, qualname: str) -> List[str]:
+        info = self.functions.get(qualname)
+        if info is None:
+            return []
+        return sorted({s.resolved for s in info.calls if s.resolved is not None})
+
+    def callers(self, qualname: str) -> List[str]:
+        out = []
+        for name, info in self.functions.items():
+            if any(site.resolved == qualname for site in info.calls):
+                out.append(name)
+        return sorted(out)

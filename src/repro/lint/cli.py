@@ -4,9 +4,17 @@ Usage::
 
     python -m repro.lint src/                  # lint a tree (text output)
     python -m repro.lint --format json src/    # machine-readable findings
-    python -m repro.lint --select RDP001 src/  # one rule only
-    python -m repro.lint --show-source src/    # findings with source lines
+    python -m repro.lint --format sarif --output lint.sarif src/
+    python -m repro.lint --select RDP101 src/  # one rule only
+    python -m repro.lint --baseline .lint-baseline.json src/
+    python -m repro.lint --no-cache src/       # force full re-analysis
     python -m repro.lint --list-rules          # the rule set and scopes
+
+Findings are cached per file under ``.lint-cache/`` keyed on content
+hash + ruleset version, so a warm run only re-analyzes edited files;
+``--no-cache`` bypasses it.  ``--baseline FILE`` filters findings whose
+fingerprint a reviewed baseline accepts; ``--write-baseline FILE``
+snapshots the current findings as that baseline.
 
 Exit codes: 0 clean, 1 unsuppressed error findings (or warnings under
 ``--strict``), 2 usage errors.
@@ -19,8 +27,11 @@ import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cache import DEFAULT_CACHE_DIR, LintCache
 from .engine import Finding, LintConfig, LintEngine
 from .rules import default_rules
+from .sarif import render_sarif
 
 #: Whole-file exemptions for rules whose premise a file's *purpose*
 #: violates.  Kept here (not in each file) so the full exemption surface
@@ -46,14 +57,24 @@ def build_engine(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     allowlists: Optional[Dict[str, tuple]] = None,
+    cache_dir: Optional[str] = None,
 ) -> LintEngine:
-    """The standard engine: default rules + repo allowlists."""
+    """The standard engine: default rules + repo allowlists.
+
+    ``cache_dir`` enables the incremental cache (None = no caching --
+    library callers opt in; the CLI passes it by default).
+    """
     config = LintConfig(
         select=frozenset(select) if select else None,
         ignore=frozenset(ignore) if ignore else frozenset(),
         allowlists=dict(DEFAULT_ALLOWLISTS if allowlists is None else allowlists),
     )
-    return LintEngine(default_rules(), config)
+    cache = (
+        LintCache(cache_dir, config_key=config.cache_key())
+        if cache_dir is not None
+        else None
+    )
+    return LintEngine(default_rules(), config, cache=cache)
 
 
 def _render_text(
@@ -112,14 +133,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Static determinism & invariant checks for the RAIDP "
-        "simulator (rules RDP001..RDP006).",
+        "simulator: flat rules RDP001..RDP007 plus the flow-sensitive "
+        "CFG/dataflow rules RDP101..RDP105.",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="drop findings whose fingerprint the reviewed baseline accepts",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="snapshot current findings as the reviewed baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental per-file cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"incremental cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--select",
@@ -158,13 +209,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     select = [r.strip() for r in args.select.split(",")] if args.select else None
     ignore = [r.strip() for r in args.ignore.split(",")] if args.ignore else None
-    engine = build_engine(select=select, ignore=ignore)
+    engine = build_engine(
+        select=select,
+        ignore=ignore,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
     findings = engine.lint_paths(args.paths)
 
-    if args.format == "json":
-        print(_render_json(findings, engine))
+    if args.write_baseline is not None:
+        count = write_baseline(findings, args.write_baseline)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    baselined = 0
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            parser.error(str(exc))
+        findings, baselined = apply_baseline(findings, baseline)
+
+    if args.format == "sarif":
+        report = render_sarif(findings, engine.rules)
+    elif args.format == "json":
+        report = _render_json(findings, engine)
     else:
-        print(_render_text(findings, engine, show_source=args.show_source))
+        report = _render_text(findings, engine, show_source=args.show_source)
+        if baselined:
+            report += f"\n({baselined} finding(s) accepted by baseline)"
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
 
     errors = sum(1 for f in findings if f.severity == "error")
     warnings = len(findings) - errors

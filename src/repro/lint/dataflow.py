@@ -1,0 +1,250 @@
+"""A worklist dataflow framework over :mod:`repro.lint.cfg` graphs.
+
+Two lattices cover the RDP1xx rules:
+
+* **Reaching definitions with yield staleness** -- the classic
+  var -> {definition sites} map, augmented with one bit per definition:
+  has the definition *crossed a yield point* since it was made?  A
+  simulation process that reads shared state into a local, yields, and
+  writes the local back is exactly "a stale definition reaches a
+  write-back", so the staleness bit turns RDP102 into a set-membership
+  test.
+* **Live acquires** -- a may-analysis over gen/kill sets supplied by the
+  rule: tokens (grants) enter the set at acquire sites and leave at
+  release/escape sites.  A token alive at the normal or exceptional
+  exit is a leak.  Exception edges normally carry the state *before*
+  the raising statement; ``exc_kills`` lets a rule declare per-node
+  kills that hold even on the exception edge (a ``release`` inside a
+  ``finally`` is trusted to run -- cleanup code is assumed
+  non-throwing, the standard analyzer concession).
+
+The solver is a plain round-robin worklist over reverse postorder.
+States are compared with ``==`` and joined per edge; everything
+iterates in deterministic order so the linter's output is byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Generic, List, Optional, Tuple, TypeVar
+
+from .cfg import CFG, CFGNode
+
+__all__ = [
+    "ForwardAnalysis",
+    "run_forward",
+    "ReachingDefinitions",
+    "Definition",
+    "GenKillAnalysis",
+    "assigned_names",
+]
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Interface a forward dataflow analysis implements."""
+
+    def initial(self, cfg: CFG) -> S:
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        raise NotImplementedError
+
+    def transfer_exc(self, node: CFGNode, state: S) -> S:
+        """State carried on an exception edge out of ``node``.
+
+        Default: the in-state -- the statement aborted before taking
+        effect.
+        """
+        return state
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[S]) -> Tuple[List[Optional[S]], List[Optional[S]]]:
+    """Solve a forward analysis; returns (in_states, out_states) by index.
+
+    Unreached nodes keep ``None``.  Termination relies on the analysis
+    being monotone over a finite lattice (all ours are: finite sets
+    grow, maps of finite sets grow).
+    """
+    order = cfg.reverse_postorder()
+    position = {index: pos for pos, index in enumerate(order)}
+    in_states: List[Optional[S]] = [None] * len(cfg.nodes)
+    out_states: List[Optional[S]] = [None] * len(cfg.nodes)
+    exc_states: List[Optional[S]] = [None] * len(cfg.nodes)
+    in_states[CFG.ENTRY] = analysis.initial(cfg)
+
+    # The worklist holds RPO *positions* (unique ints), so min() below is
+    # tie-free and the schedule is deterministic.
+    pending = set(range(len(order)))
+    while pending:
+        pos = min(pending)
+        pending.discard(pos)
+        index = order[pos]
+        node = cfg.nodes[index]
+        state = in_states[index]
+        if index != CFG.ENTRY:
+            state = None
+            for pred_index, kind in node.preds:
+                source = (
+                    exc_states[pred_index] if kind == "exc" else out_states[pred_index]
+                )
+                if source is None:
+                    continue
+                state = source if state is None else analysis.join(state, source)
+            if state is None:
+                continue  # no reaching predecessor yet
+            if state == in_states[index] and out_states[index] is not None:
+                continue  # fixpoint at this node
+            in_states[index] = state
+        new_out = analysis.transfer(node, state)
+        new_exc = analysis.transfer_exc(node, state) if node.can_raise else state
+        if new_out != out_states[index] or new_exc != exc_states[index]:
+            out_states[index] = new_out
+            exc_states[index] = new_exc
+            for succ_index, _kind in node.succs:
+                succ_pos = position.get(succ_index)
+                if succ_pos is not None:
+                    pending.add(succ_pos)
+        elif out_states[index] is None:
+            out_states[index] = new_out
+            exc_states[index] = new_exc
+    return in_states, out_states
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions with yield staleness.
+# ----------------------------------------------------------------------
+#: One definition: (defining node index, crossed_a_yield_since).
+Definition = Tuple[int, bool]
+
+#: State: variable name -> reaching definitions.  Immutable values so
+#: states can be shared between nodes safely.
+ReachState = Dict[str, FrozenSet[Definition]]
+
+
+def assigned_names(stmt: ast.AST) -> List[str]:
+    """Variable names a statement (re)binds, in source order."""
+    names: List[str] = []
+
+    def targets(node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                targets(elt)
+        elif isinstance(node, ast.Starred):
+            targets(node.value)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            targets(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            names.append(stmt.name)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            names.append((alias.asname or alias.name).split(".", 1)[0])
+    # Walrus assignments can hide anywhere in an expression.
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+            names.append(sub.target.id)
+    return names
+
+
+class ReachingDefinitions(ForwardAnalysis[ReachState]):
+    """var -> {(def site, crossed yield)} with union join."""
+
+    def initial(self, cfg: CFG) -> ReachState:
+        # Parameters are definitions made at the entry node.
+        func = cfg.func
+        params: List[str] = []
+        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = func.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                params.append(arg.arg)
+            if args.vararg:
+                params.append(args.vararg.arg)
+            if args.kwarg:
+                params.append(args.kwarg.arg)
+        return {name: frozenset({(CFG.ENTRY, False)}) for name in params}
+
+    def join(self, a: ReachState, b: ReachState) -> ReachState:
+        if a == b:
+            return a
+        merged: ReachState = dict(a)
+        for name, defs in b.items():
+            existing = merged.get(name)
+            merged[name] = defs if existing is None else existing | defs
+        return merged
+
+    def transfer(self, node: CFGNode, state: ReachState) -> ReachState:
+        stmt = node.stmt
+        stale = node.is_yield
+        killed = assigned_names(stmt) if stmt is not None else []
+        if not stale and not killed:
+            return state
+        new: ReachState = {}
+        for name, defs in state.items():
+            if stale:
+                defs = frozenset((site, True) for site, _crossed in defs)
+            new[name] = defs
+        for name in killed:
+            new[name] = frozenset({(node.index, False)})
+        return new
+
+
+# ----------------------------------------------------------------------
+# Generic gen/kill set analysis (the live-acquire lattice).
+# ----------------------------------------------------------------------
+T = TypeVar("T")
+
+
+class GenKillAnalysis(ForwardAnalysis[FrozenSet[T]]):
+    """May-analysis over token sets with per-node gen/kill tables.
+
+    ``exc_kills`` are kills that apply even on the exception edge out of
+    a node -- used for releases in cleanup blocks, which the leak rule
+    trusts to complete.
+    """
+
+    def __init__(
+        self,
+        gens: Dict[int, FrozenSet[T]],
+        kills: Dict[int, FrozenSet[T]],
+        exc_kills: Optional[Dict[int, FrozenSet[T]]] = None,
+    ) -> None:
+        self.gens = gens
+        self.kills = kills
+        self.exc_kills = exc_kills or {}
+        self._empty: FrozenSet[T] = frozenset()
+
+    def initial(self, cfg: CFG) -> FrozenSet[T]:
+        return self._empty
+
+    def join(self, a: FrozenSet[T], b: FrozenSet[T]) -> FrozenSet[T]:
+        return a | b
+
+    def transfer(self, node: CFGNode, state: FrozenSet[T]) -> FrozenSet[T]:
+        kills = self.kills.get(node.index)
+        gens = self.gens.get(node.index)
+        if kills:
+            state = state - kills
+        if gens:
+            state = state | gens
+        return state
+
+    def transfer_exc(self, node: CFGNode, state: FrozenSet[T]) -> FrozenSet[T]:
+        kills = self.exc_kills.get(node.index)
+        return (state - kills) if kills else state

@@ -38,10 +38,15 @@ __all__ = [
     "LintEngine",
     "Suppressions",
     "SUPPRESSION_RULE_ID",
+    "STALE_SUPPRESSION_RULE_ID",
 ]
 
 #: Findings about malformed suppression comments carry this rule id.
 SUPPRESSION_RULE_ID = "RDP000"
+
+#: A justified suppression whose rule no longer fires on that line is
+#: itself a finding under this id -- the allowlist must stay honest.
+STALE_SUPPRESSION_RULE_ID = "RDP007"
 
 #: Matches ``raidp: noqa[RDP001]`` (optionally ``... -- reason``) inside
 #: a comment token; rule lists may be comma-separated.
@@ -118,18 +123,29 @@ class Suppressions:
         rules = self._by_line.get(lineno)
         return rules is not None and rule in rules
 
+    def items(self) -> List[Tuple[int, frozenset]]:
+        """(line, suppressed rule ids) pairs, in line order."""
+        return sorted(self._by_line.items())
+
     def __len__(self) -> int:
         return len(self._by_line)
 
 
 @dataclass
 class FileContext:
-    """Everything a rule needs about one file: parsed once, shared."""
+    """Everything a rule needs about one file: parsed once, shared.
+
+    The flow-sensitive rules all need per-function CFGs and the module
+    call graph; they are built on first use and shared across rules so
+    five RDP1xx rules cost one CFG construction, not five.
+    """
 
     path: str  # forward-slash path as given/walked, used for scoping
     source: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    _cfgs: Optional[dict] = field(default=None, repr=False, compare=False)
+    _callgraph: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -139,6 +155,22 @@ class FileContext:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1]
         return ""
+
+    def function_cfgs(self) -> dict:
+        """qualname -> CFG for every function in the file (cached)."""
+        if self._cfgs is None:
+            from .cfg import function_cfgs
+
+            self._cfgs = function_cfgs(self.tree)
+        return self._cfgs
+
+    def callgraph(self) -> "object":
+        """The module call graph (cached)."""
+        if self._callgraph is None:
+            from .callgraph import ModuleCallGraph
+
+            self._callgraph = ModuleCallGraph.build(self.tree)
+        return self._callgraph
 
 
 class Rule:
@@ -201,16 +233,35 @@ class LintConfig:
             for pattern in self.allowlists.get(rule_id, ())
         )
 
+    def cache_key(self) -> str:
+        """Canonical rendering for the incremental cache key."""
+        select = ",".join(sorted(self.select)) if self.select is not None else "*"
+        ignore = ",".join(sorted(self.ignore))
+        allow = ";".join(
+            f"{rule_id}={'|'.join(patterns)}"
+            for rule_id, patterns in sorted(self.allowlists.items())
+        )
+        return f"select={select} ignore={ignore} allow={allow}"
+
 
 class LintEngine:
     """Runs a rule set over sources, files, or directory trees."""
 
-    def __init__(self, rules: Sequence[Rule], config: Optional[LintConfig] = None) -> None:
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        config: Optional[LintConfig] = None,
+        cache: Optional[object] = None,
+    ) -> None:
         self.config = config or LintConfig()
         self.rules: List[Rule] = [
             rule for rule in rules if self.config.rule_enabled(rule.id)
         ]
         self.files_checked = 0
+        #: Optional :class:`repro.lint.cache.LintCache`; findings for a
+        #: file whose (content, ruleset, config) key matches are reused
+        #: without re-parsing.
+        self.cache = cache
 
     # -- single source ---------------------------------------------------
     def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
@@ -247,23 +298,81 @@ class LintEngine:
                     ),
                 )
             )
+        suppressed_hits = set()
+        active_rule_ids = set()
         for rule in self.rules:
             if not rule.applies_to(path):
                 continue
             if self.config.allowlisted(rule.id, path):
                 continue
+            active_rule_ids.add(rule.id)
             for finding in rule.check(ctx):
                 if suppressions.suppresses(finding.line, finding.rule):
+                    suppressed_hits.add((finding.line, finding.rule))
                     continue
                 findings.append(finding)
+        findings.extend(
+            self._stale_suppressions(
+                path, suppressions, suppressed_hits, active_rule_ids
+            )
+        )
         findings.sort(key=lambda f: f.sort_key)
         return findings
+
+    def _stale_suppressions(
+        self,
+        path: str,
+        suppressions: Suppressions,
+        suppressed_hits: set,
+        active_rule_ids: set,
+    ) -> List[Finding]:
+        """RDP007: justified suppressions whose rule no longer fires.
+
+        Only rules that actually ran on this file count -- a suppression
+        for a rule excluded by ``--select``/``--ignore`` or an allowlist
+        is not stale, it just was not exercised this run.
+        """
+        if not self.config.rule_enabled(STALE_SUPPRESSION_RULE_ID):
+            return []
+        stale: List[Finding] = []
+        for lineno, rules in suppressions.items():
+            for rule_id in sorted(rules):
+                if rule_id == STALE_SUPPRESSION_RULE_ID:
+                    continue
+                if rule_id not in active_rule_ids:
+                    continue
+                if (lineno, rule_id) in suppressed_hits:
+                    continue
+                if suppressions.suppresses(lineno, STALE_SUPPRESSION_RULE_ID):
+                    continue
+                stale.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        col=1,
+                        rule=STALE_SUPPRESSION_RULE_ID,
+                        severity="error",
+                        message=(
+                            f"stale suppression: {rule_id} no longer fires on "
+                            "this line; delete the noqa (stale entries hide "
+                            "future regressions behind a reviewed-looking comment)"
+                        ),
+                    )
+                )
+        return stale
 
     # -- files and trees -------------------------------------------------
     def lint_file(self, path: str) -> List[Finding]:
         source = Path(path).read_text(encoding="utf-8")
         self.files_checked += 1
-        return self.lint_source(source, path=str(path))
+        if self.cache is not None:
+            cached = self.cache.get(str(path), source)
+            if cached is not None:
+                return cached
+        findings = self.lint_source(source, path=str(path))
+        if self.cache is not None:
+            self.cache.put(str(path), source, findings)
+        return findings
 
     def lint_paths(self, paths: Iterable[str]) -> List[Finding]:
         """Lint files and/or directory trees; order-stable output."""

@@ -610,7 +610,9 @@ class AnnotationRule(Rule):
 
 
 def default_rules(taxonomy: Optional[frozenset] = None) -> List[Rule]:
-    """The standard rule set, in id order."""
+    """The standard rule set, in id order: flat rules then flow rules."""
+    from .flowrules import FLOW_RULES
+
     return [
         WallClockRule(),
         UnorderedIterationRule(),
@@ -618,7 +620,7 @@ def default_rules(taxonomy: Optional[frozenset] = None) -> List[Rule]:
         TraceTaxonomyRule(categories=taxonomy),
         FloatSumRule(),
         AnnotationRule(),
-    ]
+    ] + FLOW_RULES()
 
 
 #: Instantiated standard rules (module-import side-effect free except

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; emitting it makes ``repro.lint`` findings first-class
+annotations on pull requests.  The shape below follows the OASIS 2.1.0
+schema: one ``run``, a ``tool.driver`` carrying the full rule metadata,
+and one ``result`` per finding with a physical location and a stable
+``partialFingerprints`` entry (the same fingerprint the baseline file
+uses, so code-scanning dedup and our baseline agree on identity).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import fingerprint_findings
+from .engine import Finding, Rule
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine-level diagnostics have no Rule instance; their metadata lives
+#: here so the SARIF rule table is complete.
+_ENGINE_RULES: Dict[str, str] = {
+    "RDP000": "suppressions must carry a justification",
+    "RDP007": "justified suppressions must still be live",
+    "E999": "source must parse",
+}
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule_id: str, title: str, severity: str) -> Dict[str, object]:
+    return {
+        "id": rule_id,
+        "name": rule_id,
+        "shortDescription": {"text": title},
+        "defaultConfiguration": {"level": _LEVELS.get(severity, "warning")},
+    }
+
+
+def render_sarif(
+    findings: List[Finding],
+    rules: Sequence[Rule],
+    tool_version: Optional[str] = None,
+) -> str:
+    """The findings as a SARIF 2.1.0 document (a JSON string)."""
+    descriptors = [
+        _rule_descriptor(rule.id, rule.title, rule.severity) for rule in rules
+    ]
+    listed = {rule.id for rule in rules}
+    for rule_id, title in sorted(_ENGINE_RULES.items()):
+        if rule_id not in listed:
+            descriptors.append(_rule_descriptor(rule_id, title, "error"))
+    descriptors.sort(key=lambda d: str(d["id"]))
+    index = {d["id"]: i for i, d in enumerate(descriptors)}
+
+    results = []
+    for finding, fingerprint in fingerprint_findings(findings):
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLintFingerprint/v1": fingerprint},
+        }
+        if finding.rule in index:
+            result["ruleIndex"] = index[finding.rule]
+        results.append(result)
+
+    driver: Dict[str, object] = {
+        "name": "repro.lint",
+        "informationUri": "https://github.com/raidp-repro/raidp-repro",
+        "rules": descriptors,
+    }
+    if tool_version is not None:
+        driver["version"] = tool_version
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -917,7 +917,7 @@ class Simulator:
             if target != due:
                 # The caller's horizon precedes the next tick.
                 return
-            sampler.sample(self)
+            sampler.sample(self)  # raidp: noqa[RDP103] -- deterministic calendar tick recorder, not a random draw
 
     def _drain_profiled(self, until: Optional[float], profile: Any) -> None:
         """The run loop with per-dispatch attribution.

@@ -33,7 +33,7 @@ import dataclasses
 import json
 import sys
 import zlib
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro import units
 from repro.core.cluster import RaidpCluster
@@ -138,7 +138,7 @@ def _guard(body: Generator, skipped: List[int]) -> Generator:
     return None
 
 
-def _create_file(dfs, client, path: str, nbytes: int, skipped: List[int]) -> Generator:
+def _create_file(dfs: Any, client: Any, path: str, nbytes: int, skipped: List[int]) -> Generator:
     """Write a new file; abandon it wholesale if the write dies.
 
     A create that loses every replica mid-flight leaves phantom blocks
@@ -158,7 +158,7 @@ def _create_file(dfs, client, path: str, nbytes: int, skipped: List[int]) -> Gen
     return None
 
 
-def _safe_rewrite(dfs, client, path: str, skipped: List[int]) -> Generator:
+def _safe_rewrite(dfs: Any, client: Any, path: str, skipped: List[int]) -> Generator:
     """Rewrite a file in place, skipping blocks that cannot accept
     writes right now (superchunk frozen by an in-flight recovery, or no
     healthy replica at all).  A write that loses *every* replica
@@ -187,7 +187,7 @@ def _safe_rewrite(dfs, client, path: str, skipped: List[int]) -> Generator:
     return None
 
 
-def _traffic(dfs, skipped: List[int]) -> Generator:
+def _traffic(dfs: Any, skipped: List[int]) -> Generator:
     """The soak's workload: seed the datasets, churn reads/rewrites
     until the traffic deadline, then run a TeraSort over the input."""
     clients = dfs.clients
@@ -245,7 +245,7 @@ def _traffic(dfs, skipped: List[int]) -> Generator:
 # ----------------------------------------------------------------------
 # Verification.
 # ----------------------------------------------------------------------
-def _payload_checksum(payload) -> int:
+def _payload_checksum(payload: Any) -> int:
     method = getattr(payload, "checksum", None)
     if method is not None:
         return method()
@@ -255,7 +255,7 @@ def _payload_checksum(payload) -> int:
     return zlib.crc32(repr(payload).encode())
 
 
-def _verify_reads(dfs, problems: List[str], blocks_fp: List) -> Generator:
+def _verify_reads(dfs: Any, problems: List[str], blocks_fp: List) -> Generator:
     """Read every block back through the regular client path and compare
     it bit-for-bit to the content generator's expected payload."""
     client = dfs.clients[0]
@@ -281,7 +281,7 @@ def _verify_reads(dfs, problems: List[str], blocks_fp: List) -> Generator:
     return None
 
 
-def _verify_replicas(dfs, problems: List[str]) -> None:
+def _verify_replicas(dfs: Any, problems: List[str]) -> None:
     """Every listed replica must be healthy and hold the exact bytes."""
     for locations in dfs.namenode.all_blocks():
         block = locations.block
@@ -356,7 +356,7 @@ def recovery_timeline(
 
 
 def _verify_lifecycle(
-    dfs, monitor: ClusterMonitor, injector: FaultInjector, problems: List[str]
+    dfs: Any, monitor: ClusterMonitor, injector: FaultInjector, problems: List[str]
 ) -> None:
     """Detection, recovery, and rejoin coverage for every injected fault."""
     detected_names = {name for _, names in monitor.detected for name in names}
@@ -606,7 +606,7 @@ def run_chaos(
     )
 
 
-def run_repeated(seed: int = DEFAULT_SEED, runs: int = 2, **kwargs) -> ChaosResult:
+def run_repeated(seed: int = DEFAULT_SEED, runs: int = 2, **kwargs: Any) -> ChaosResult:
     """Run the soak ``runs`` times with the same seed; the fingerprints
     must be bit-identical or the combined result fails."""
     first = run_chaos(seed, **kwargs)

@@ -49,7 +49,7 @@ JSON_SCHEMA_VERSION = 1
 DEFAULT_LIMIT = 15
 
 
-def _experiment_module(name: str):
+def _experiment_module(name: str) -> Any:
     if name not in REGISTRY:
         raise SystemExit(
             f"unknown experiment {name!r}; known: {sorted(REGISTRY)}"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence
 
 from repro import units
 from repro.analysis.cost import DatacenterCostModel, LstorBom, ServerExample
@@ -134,7 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Subcommand implementations.
 # ----------------------------------------------------------------------
-def cmd_layout(args) -> int:
+def cmd_layout(args: argparse.Namespace) -> int:
     if args.disks_per_node > 1:
         from repro.core.layout import domain_aware_layout
 
@@ -159,7 +159,7 @@ def cmd_layout(args) -> int:
     return 0
 
 
-def _build_system(system: str, nodes: int, seed: int):
+def _build_system(system: str, nodes: int, seed: int) -> Any:
     spec = ClusterSpec(num_nodes=nodes)
     if system in ("hdfs2", "hdfs3"):
         replication = 2 if system == "hdfs2" else 3
@@ -179,7 +179,7 @@ def _build_system(system: str, nodes: int, seed: int):
     )
 
 
-def cmd_bench(args) -> int:
+def cmd_bench(args: argparse.Namespace) -> int:
     nbytes = units.parse_size(args.data)
     dfs = _build_system(args.system, args.nodes, args.seed)
     write = dfsio_write(dfs, nbytes)
@@ -193,7 +193,7 @@ def cmd_bench(args) -> int:
     return 0
 
 
-def cmd_drill(args) -> int:
+def cmd_drill(args: argparse.Namespace) -> int:
     dfs = RaidpCluster(
         spec=ClusterSpec(num_nodes=args.nodes),
         config=DfsConfig(block_size=units.MiB, replication=2),
@@ -203,7 +203,7 @@ def cmd_drill(args) -> int:
         seed=args.seed,
     )
 
-    def workload():
+    def workload() -> Generator:
         for index, client in enumerate(dfs.clients):
             yield from client.write_file(f"/drill/file{index}", 3 * units.MiB)
 
@@ -237,7 +237,7 @@ def cmd_drill(args) -> int:
     return 0
 
 
-def cmd_tco(args) -> int:
+def cmd_tco(args: argparse.Namespace) -> int:
     server = ServerExample(
         name="your-fleet",
         server_cost=args.server_cost,
@@ -258,7 +258,7 @@ def cmd_tco(args) -> int:
     return 0
 
 
-def cmd_experiments(args) -> int:
+def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as experiments_main
 
     argv: List[str] = list(args.names)
@@ -267,7 +267,7 @@ def cmd_experiments(args) -> int:
     return experiments_main(argv)
 
 
-def cmd_trace(args) -> int:
+def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import load_trace, render_summary
 
     events = load_trace(args.file)
@@ -276,7 +276,7 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def cmd_profile(args) -> int:
+def cmd_profile(args: argparse.Namespace) -> int:
     from repro.tools.profile import main as profile_main
 
     argv: List[str] = [args.experiment]
@@ -293,7 +293,7 @@ def cmd_profile(args) -> int:
     return profile_main(argv)
 
 
-def cmd_dash(args) -> int:
+def cmd_dash(args: argparse.Namespace) -> int:
     from repro.obs.slo import load_health_report, render_dash
     from repro.obs.timeseries import load_timeseries
 

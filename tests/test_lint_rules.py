@@ -237,6 +237,18 @@ def test_rdp006_scoped_to_core_and_sim():
 # ----------------------------------------------------------------------
 # The default rule set.
 # ----------------------------------------------------------------------
-def test_default_rules_cover_all_six_ids():
+def test_default_rules_cover_all_registered_ids():
     ids = [rule.id for rule in default_rules()]
-    assert ids == ["RDP001", "RDP002", "RDP003", "RDP004", "RDP005", "RDP006"]
+    assert ids == [
+        "RDP001",
+        "RDP002",
+        "RDP003",
+        "RDP004",
+        "RDP005",
+        "RDP006",
+        "RDP101",
+        "RDP102",
+        "RDP103",
+        "RDP104",
+        "RDP105",
+    ]

@@ -68,6 +68,42 @@ def _type_checking_names(module):
     return names
 
 
+def test_promoted_packages_have_no_untyped_defs():
+    """The local mirror of mypy's ``disallow_untyped_defs`` gate.
+
+    CI runs mypy with strict overrides for ``repro.experiments`` and
+    ``repro.tools`` (pyproject.toml); mypy is not in the local image, so
+    this sweep enforces the same surface -- every def fully annotated --
+    without it.
+    """
+    offenders = []
+    for package in ("repro/experiments", "repro/tools"):
+        for path in sorted((SRC / package).rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                args = node.args
+                every = args.posonlyargs + args.args + args.kwonlyargs
+                missing = [
+                    arg.arg
+                    for index, arg in enumerate(every)
+                    if arg.annotation is None
+                    and not (index == 0 and arg.arg in ("self", "cls"))
+                ]
+                if args.vararg is not None and args.vararg.annotation is None:
+                    missing.append("*" + args.vararg.arg)
+                if args.kwarg is not None and args.kwarg.annotation is None:
+                    missing.append("**" + args.kwarg.arg)
+                if node.returns is None:
+                    missing.append("return")
+                if missing:
+                    offenders.append(
+                        f"{path}:{node.lineno}: {node.name}({', '.join(missing)})"
+                    )
+    assert offenders == [], "\n".join(offenders)
+
+
 @pytest.mark.parametrize("module_name", _strict_modules())
 def test_annotations_resolve(module_name):
     """Every annotation in the strict packages resolves to a real type.
